@@ -1,0 +1,23 @@
+// Ablation: what does optimal insertion with deferral (§4.4) buy over
+// first-fit insertion, holding routing and edge priorities fixed?
+#include "ablation_common.hpp"
+#include "sched/oihsa.hpp"
+
+int main() {
+  using edgesched::bench::Variant;
+  using edgesched::sched::Oihsa;
+
+  Oihsa::Options basic;
+  basic.optimal_insertion = false;
+  Oihsa::Options optimal;
+  optimal.optimal_insertion = true;
+
+  std::vector<Variant> variants;
+  variants.push_back(
+      Variant{"OIHSA + basic insertion", std::make_unique<Oihsa>(basic)});
+  variants.push_back(Variant{"OIHSA + optimal insertion",
+                             std::make_unique<Oihsa>(optimal)});
+  edgesched::bench::run_ablation("first-fit vs optimal insertion",
+                                 std::move(variants));
+  return 0;
+}

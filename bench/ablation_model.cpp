@@ -1,0 +1,54 @@
+// Ablation: the scheduling-model readings DESIGN.md §6 documents.
+//
+//   * task placement: insertion (default reading of §2.1) vs literal
+//     append t_s = max(t_dr, t_f(P));
+//   * communication departure: at the task's ready moment (§4.1 dynamic
+//     model, default) vs eagerly at each source's finish;
+//   * BA processor selection: communication-blind EFT (the paper's
+//     description of BA, default) vs Sinnen's full tentative evaluation.
+#include "ablation_common.hpp"
+#include "sched/ba.hpp"
+#include "sched/oihsa.hpp"
+
+int main() {
+  using edgesched::bench::Variant;
+  using edgesched::sched::BaProcessorSelection;
+  using edgesched::sched::BasicAlgorithm;
+  using edgesched::sched::Oihsa;
+
+  {
+    std::vector<Variant> variants;
+    Oihsa::Options append;
+    append.task_insertion = false;
+    variants.push_back(Variant{"OIHSA, insertion placement",
+                               std::make_unique<Oihsa>()});
+    variants.push_back(Variant{"OIHSA, append placement",
+                               std::make_unique<Oihsa>(append)});
+    edgesched::bench::run_ablation("task placement policy",
+                                   std::move(variants));
+  }
+  {
+    std::vector<Variant> variants;
+    Oihsa::Options eager;
+    eager.eager_communication = true;
+    variants.push_back(Variant{"OIHSA, ready-moment shipping",
+                               std::make_unique<Oihsa>()});
+    variants.push_back(Variant{"OIHSA, eager shipping",
+                               std::make_unique<Oihsa>(eager)});
+    edgesched::bench::run_ablation("communication departure",
+                                   std::move(variants));
+  }
+  {
+    std::vector<Variant> variants;
+    BasicAlgorithm::Options tentative;
+    tentative.selection = BaProcessorSelection::kTentativeEft;
+    variants.push_back(Variant{"BA, comm-blind EFT (paper)",
+                               std::make_unique<BasicAlgorithm>()});
+    variants.push_back(Variant{"BA, tentative EFT (Sinnen)",
+                               std::make_unique<BasicAlgorithm>(tentative)});
+    variants.push_back(Variant{"OIHSA", std::make_unique<Oihsa>()});
+    edgesched::bench::run_ablation("BA processor selection",
+                                   std::move(variants));
+  }
+  return 0;
+}

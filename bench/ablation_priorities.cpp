@@ -1,0 +1,29 @@
+// Ablation: task priority schemes. The paper fixes bottom level (§2.1) as
+// the static priority; this bench measures what the choice is worth for
+// OIHSA against the common alternatives.
+#include "ablation_common.hpp"
+#include "sched/oihsa.hpp"
+
+int main() {
+  using edgesched::bench::Variant;
+  using edgesched::sched::Oihsa;
+  using edgesched::sched::PriorityScheme;
+
+  std::vector<Variant> variants;
+  Oihsa::Options bl;
+  bl.priority = PriorityScheme::kBottomLevel;
+  Oihsa::Options bl_comp;
+  bl_comp.priority = PriorityScheme::kBottomLevelComputationOnly;
+  Oihsa::Options tlbl;
+  tlbl.priority = PriorityScheme::kTopLevelPlusBottomLevel;
+
+  variants.push_back(Variant{"OIHSA, bl (paper)",
+                             std::make_unique<Oihsa>(bl)});
+  variants.push_back(Variant{"OIHSA, bl computation-only",
+                             std::make_unique<Oihsa>(bl_comp)});
+  variants.push_back(
+      Variant{"OIHSA, tl + bl", std::make_unique<Oihsa>(tlbl)});
+  edgesched::bench::run_ablation("task priority scheme",
+                                 std::move(variants));
+  return 0;
+}

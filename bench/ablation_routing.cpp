@@ -1,0 +1,23 @@
+// Ablation: what does workload-aware routing (§4.3) buy, holding the rest
+// of OIHSA fixed? Baseline is OIHSA with minimal BFS routes.
+#include "ablation_common.hpp"
+#include "sched/oihsa.hpp"
+
+int main() {
+  using edgesched::bench::Variant;
+  using edgesched::sched::Oihsa;
+
+  Oihsa::Options bfs;
+  bfs.modified_routing = false;
+  Oihsa::Options dijkstra;
+  dijkstra.modified_routing = true;
+
+  std::vector<Variant> variants;
+  variants.push_back(
+      Variant{"OIHSA + BFS routing", std::make_unique<Oihsa>(bfs)});
+  variants.push_back(Variant{"OIHSA + modified routing",
+                             std::make_unique<Oihsa>(dijkstra)});
+  edgesched::bench::run_ablation("minimal vs workload-aware routing",
+                                 std::move(variants));
+  return 0;
+}

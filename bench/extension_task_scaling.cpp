@@ -1,0 +1,32 @@
+// Extension experiment (not a paper figure): improvement vs task count.
+// The paper fixes task counts at U(40, 1000) and never isolates the size
+// axis; this bench does, explaining the Figure 2 deviation documented in
+// EXPERIMENTS.md (more tasks = more parallelism for the routing to
+// exploit at large machine sizes).
+#include <iostream>
+
+#include "sim/runner.hpp"
+#include "sim/table.hpp"
+#include "sim/workload.hpp"
+#include "util/env.hpp"
+
+int main() {
+  using namespace edgesched;
+  sim::ExperimentConfig config = sim::ExperimentConfig::defaults(false);
+  config.ccr_values = {1.0, 5.0};
+  config.processor_counts = {16, 64};
+  config.repetitions =
+      static_cast<std::size_t>(env_int("EDGESCHED_REPS", 3));
+  const bool validate = env_flag("EDGESCHED_VALIDATE", false);
+
+  std::cout << "== extension: improvement vs task count ==\n";
+  std::cout << "ccr {1, 5} x procs {16, 64} x " << config.repetitions
+            << " reps\n\n";
+  const std::vector<std::size_t> task_counts{50, 100, 200, 400, 800};
+  const auto points =
+      sim::sweep_task_counts(config, task_counts, validate);
+  sim::print_sweep(std::cout, "tasks", points);
+  std::cout << "\ncsv:\n";
+  sim::write_sweep_csv(std::cout, "tasks", points);
+  return 0;
+}

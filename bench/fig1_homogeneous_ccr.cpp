@@ -1,0 +1,9 @@
+// Figure 1 of the paper: homogeneous systems, % improved makespan of
+// OIHSA and BBSA over BA versus CCR, averaged over processor counts.
+#include "fig_common.hpp"
+
+int main() {
+  return edgesched::bench::run_figure(
+      "Figure 1", "homogeneous systems, improvement vs CCR",
+      /*heterogeneous=*/false, /*x_is_ccr=*/true);
+}

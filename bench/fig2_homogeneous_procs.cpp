@@ -1,0 +1,9 @@
+// Figure 2 of the paper: homogeneous systems, % improved makespan of
+// OIHSA and BBSA over BA versus processor count, averaged over CCR.
+#include "fig_common.hpp"
+
+int main() {
+  return edgesched::bench::run_figure(
+      "Figure 2", "homogeneous systems, improvement vs processor count",
+      /*heterogeneous=*/false, /*x_is_ccr=*/false);
+}

@@ -1,0 +1,9 @@
+// Figure 3 of the paper: heterogeneous systems (processor and link speeds
+// U(1,10)), % improved makespan of OIHSA and BBSA over BA versus CCR.
+#include "fig_common.hpp"
+
+int main() {
+  return edgesched::bench::run_figure(
+      "Figure 3", "heterogeneous systems, improvement vs CCR",
+      /*heterogeneous=*/true, /*x_is_ccr=*/true);
+}

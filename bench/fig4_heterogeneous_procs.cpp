@@ -1,0 +1,9 @@
+// Figure 4 of the paper: heterogeneous systems, % improved makespan of
+// OIHSA and BBSA over BA versus processor count, averaged over CCR.
+#include "fig_common.hpp"
+
+int main() {
+  return edgesched::bench::run_figure(
+      "Figure 4", "heterogeneous systems, improvement vs processor count",
+      /*heterogeneous=*/true, /*x_is_ccr=*/false);
+}

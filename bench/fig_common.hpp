@@ -1,0 +1,65 @@
+// Shared driver for the four figure-reproduction benches.
+//
+// Each fig binary reproduces one figure of the paper's evaluation (§6):
+// the mean percentage makespan improvement of OIHSA and BBSA over BA,
+// either versus CCR (averaged over processor counts) or versus processor
+// count (averaged over CCR), in homogeneous or heterogeneous systems.
+//
+// Environment knobs (see DESIGN.md §4): EDGESCHED_TASKS_MIN/MAX,
+// EDGESCHED_REPS, EDGESCHED_SEED, EDGESCHED_FULL=1 (paper-scale task
+// counts), EDGESCHED_VALIDATE=1 (run every schedule through the
+// validator), EDGESCHED_MAX_PROCS (truncate the processor axis).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/runner.hpp"
+#include "sim/table.hpp"
+#include "sim/workload.hpp"
+#include "util/env.hpp"
+
+namespace edgesched::bench {
+
+inline int run_figure(const std::string& figure, const std::string& title,
+                      bool heterogeneous, bool x_is_ccr) {
+  sim::ExperimentConfig config =
+      sim::ExperimentConfig::defaults(heterogeneous);
+  const auto max_procs = static_cast<std::size_t>(
+      env_int("EDGESCHED_MAX_PROCS", 128));
+  std::erase_if(config.processor_counts,
+                [&](std::size_t p) { return p > max_procs; });
+  const bool validate = env_flag("EDGESCHED_VALIDATE", false);
+
+  std::cout << "== " << figure << ": " << title << " ==\n";
+  std::cout << "tasks U(" << config.tasks_min << ", " << config.tasks_max
+            << "), reps " << config.repetitions << ", seed " << config.seed
+            << (heterogeneous ? ", heterogeneous speeds U(1,10)"
+                              : ", homogeneous speeds = 1")
+            << (validate ? ", validating every schedule" : "") << "\n\n";
+
+  const auto progress = [](std::size_t done, std::size_t total) {
+    if (done == total || done % 16 == 0) {
+      std::fprintf(stderr, "\r  %zu/%zu instances", done, total);
+      if (done == total) {
+        std::fprintf(stderr, "\n");
+      }
+      std::fflush(stderr);
+    }
+  };
+
+  const std::vector<sim::SweepPoint> points =
+      x_is_ccr ? sim::sweep_ccr(config, validate, progress)
+               : sim::sweep_processors(config, validate, progress);
+
+  const std::string x_label = x_is_ccr ? "CCR" : "processors";
+  sim::print_sweep(std::cout, x_label, points);
+  std::cout << "\n";
+  sim::print_sweep_chart(std::cout, x_label, points);
+  std::cout << "\ncsv:\n";
+  sim::write_sweep_csv(std::cout, x_label, points);
+  return 0;
+}
+
+}  // namespace edgesched::bench

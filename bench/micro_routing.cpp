@@ -1,0 +1,75 @@
+// Micro-benchmarks of the routing layer: BFS minimal routing vs the
+// probe-driven Dijkstra used by the modified routing algorithm.
+#include <benchmark/benchmark.h>
+
+#include "net/builders.hpp"
+#include "net/routing.hpp"
+
+namespace {
+
+using namespace edgesched;
+
+net::Topology wan(std::size_t procs, std::uint64_t seed) {
+  Rng rng(seed);
+  net::RandomWanParams params;
+  params.num_processors = procs;
+  return net::random_wan(params, rng);
+}
+
+void BM_BfsRoute(benchmark::State& state) {
+  const net::Topology topo =
+      wan(static_cast<std::size_t>(state.range(0)), 1);
+  const auto& procs = topo.processors();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const net::NodeId from = procs[i % procs.size()];
+    const net::NodeId to = procs[(i * 7 + 3) % procs.size()];
+    if (from != to) {
+      benchmark::DoNotOptimize(net::bfs_route(topo, from, to));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_BfsRoute)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_RouteCache(benchmark::State& state) {
+  const net::Topology topo =
+      wan(static_cast<std::size_t>(state.range(0)), 2);
+  net::RouteCache cache(topo);
+  const auto& procs = topo.processors();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const net::NodeId from = procs[i % procs.size()];
+    const net::NodeId to = procs[(i * 7 + 3) % procs.size()];
+    if (from != to) {
+      benchmark::DoNotOptimize(cache.route(from, to));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_RouteCache)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_DijkstraProbeRoute(benchmark::State& state) {
+  const net::Topology topo =
+      wan(static_cast<std::size_t>(state.range(0)), 3);
+  const auto& procs = topo.processors();
+  const auto probe = [&](net::LinkId l, const net::ProbeState& s) {
+    const double duration = 1.0 / topo.link_speed(l);
+    const double finish =
+        std::max(s.earliest_start + duration, s.min_finish);
+    return net::ProbeResult{finish - duration, finish};
+  };
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const net::NodeId from = procs[i % procs.size()];
+    const net::NodeId to = procs[(i * 7 + 3) % procs.size()];
+    if (from != to) {
+      benchmark::DoNotOptimize(
+          net::dijkstra_route_probe(topo, from, to, 0.0, probe));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_DijkstraProbeRoute)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Micro-benchmarks of the end-to-end schedulers on a fixed mid-size
+// instance: scheduling throughput of BA, OIHSA and BBSA.
+#include <benchmark/benchmark.h>
+
+#include "dag/generators.hpp"
+#include "dag/properties.hpp"
+#include "net/builders.hpp"
+#include "sched/ba.hpp"
+#include "sched/bbsa.hpp"
+#include "sched/classic.hpp"
+#include "sched/oihsa.hpp"
+
+namespace {
+
+using namespace edgesched;
+
+struct FixedInstance {
+  dag::TaskGraph graph;
+  net::Topology topology;
+};
+
+FixedInstance instance(std::size_t tasks, std::size_t procs) {
+  Rng rng(42);
+  dag::LayeredDagParams params;
+  params.num_tasks = tasks;
+  dag::TaskGraph graph = dag::random_layered(params, rng);
+  dag::rescale_to_ccr(graph, 2.0);
+  net::RandomWanParams wan;
+  wan.num_processors = procs;
+  return FixedInstance{std::move(graph), net::random_wan(wan, rng)};
+}
+
+template <typename SchedulerT>
+void schedule_instance(benchmark::State& state) {
+  const FixedInstance inst =
+      instance(static_cast<std::size_t>(state.range(0)),
+               static_cast<std::size_t>(state.range(1)));
+  const SchedulerT scheduler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.schedule(inst.graph, inst.topology));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(inst.graph.num_tasks()));
+}
+
+void BM_ScheduleBA(benchmark::State& state) {
+  schedule_instance<sched::BasicAlgorithm>(state);
+}
+void BM_ScheduleOIHSA(benchmark::State& state) {
+  schedule_instance<sched::Oihsa>(state);
+}
+void BM_ScheduleBBSA(benchmark::State& state) {
+  schedule_instance<sched::Bbsa>(state);
+}
+void BM_ScheduleClassic(benchmark::State& state) {
+  schedule_instance<sched::ClassicScheduler>(state);
+}
+
+BENCHMARK(BM_ScheduleBA)->Args({60, 8})->Args({60, 32})->Args({120, 16});
+BENCHMARK(BM_ScheduleOIHSA)->Args({60, 8})->Args({60, 32})->Args({120, 16});
+BENCHMARK(BM_ScheduleBBSA)->Args({60, 8})->Args({60, 32})->Args({120, 16});
+BENCHMARK(BM_ScheduleClassic)
+    ->Args({60, 8})
+    ->Args({60, 32})
+    ->Args({120, 16});
+
+}  // namespace

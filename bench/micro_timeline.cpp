@@ -1,0 +1,93 @@
+// Micro-benchmarks of the timeline substrates: insertion search, optimal
+// insertion with deferral, and the fluid bandwidth sweep.
+#include <benchmark/benchmark.h>
+
+#include "timeline/bandwidth_timeline.hpp"
+#include "timeline/link_timeline.hpp"
+#include "timeline/optimal_insertion.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace edgesched;
+
+timeline::LinkTimeline packed_timeline(std::size_t slots, Rng& rng) {
+  timeline::LinkTimeline tl;
+  for (std::size_t i = 0; i < slots; ++i) {
+    const double duration = rng.uniform_real(0.5, 3.0);
+    const double gap = rng.uniform_real(0.0, 1.0);
+    tl.commit(tl.probe_basic(tl.last_finish() + gap, 0.0, duration),
+              dag::EdgeId(i));
+  }
+  return tl;
+}
+
+void BM_BasicInsertionProbe(benchmark::State& state) {
+  Rng rng(1);
+  const timeline::LinkTimeline tl =
+      packed_timeline(static_cast<std::size_t>(state.range(0)), rng);
+  double t_es = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tl.probe_basic(t_es, 0.0, 1.5));
+    t_es += 0.37;
+    if (t_es > tl.last_finish()) {
+      t_es = 0.0;
+    }
+  }
+}
+BENCHMARK(BM_BasicInsertionProbe)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_OptimalInsertionProbe(benchmark::State& state) {
+  Rng rng(2);
+  const timeline::LinkTimeline tl =
+      packed_timeline(static_cast<std::size_t>(state.range(0)), rng);
+  const timeline::DeferralFn deferral =
+      [](const timeline::TimeSlot& slot) {
+        return (slot.edge.value() % 3 == 0) ? 1.0 : 0.0;
+      };
+  double t_es = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        timeline::probe_optimal(tl, t_es, 0.0, 1.5, deferral));
+    t_es += 0.37;
+    if (t_es > tl.last_finish()) {
+      t_es = 0.0;
+    }
+  }
+}
+BENCHMARK(BM_OptimalInsertionProbe)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_BandwidthTransferAndConsume(benchmark::State& state) {
+  for (auto _ : state) {
+    timeline::BandwidthTimeline tl(4.0);
+    Rng rng(3);
+    for (int i = 0; i < state.range(0); ++i) {
+      const double ready = rng.uniform_real(0.0, 50.0);
+      const timeline::RateProfile p =
+          tl.transfer_from(ready, rng.uniform_real(1.0, 8.0));
+      tl.consume(p);
+    }
+    benchmark::DoNotOptimize(tl.remaining_at(25.0));
+  }
+}
+BENCHMARK(BM_BandwidthTransferAndConsume)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BandwidthForwardChain(benchmark::State& state) {
+  const auto hops = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<timeline::BandwidthTimeline> chain;
+    for (std::size_t i = 0; i < hops; ++i) {
+      chain.emplace_back(1.0 + static_cast<double>(i % 3));
+    }
+    timeline::RateProfile profile = chain[0].transfer_from(0.0, 20.0);
+    chain[0].consume(profile);
+    for (std::size_t i = 1; i < hops; ++i) {
+      profile = chain[i].forward(profile);
+      chain[i].consume(profile);
+    }
+    benchmark::DoNotOptimize(profile.finish_time());
+  }
+}
+BENCHMARK(BM_BandwidthForwardChain)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

@@ -1,0 +1,211 @@
+// edgesched_cli — schedule a task graph onto a network from the command
+// line.
+//
+// Usage:
+//   edgesched_cli --graph FILE [--graph-format text|stg]
+//                 (--topology FILE | --wan N | --star N | --ring N |
+//                  --fully-connected N)
+//                 [--heterogeneous] [--seed S]
+//                 [--algorithm ba|oihsa|bbsa|packet|classic|ga|sa]
+//                 [--ccr X] [--output schedule|metrics|gantt|trace|dot]
+//
+// Examples:
+//   edgesched_cli --graph wf.txt --wan 16 --algorithm oihsa
+//                 --output metrics
+//   edgesched_cli --graph wf.stg --graph-format stg --star 8
+//                 --output trace > trace.json   # open in chrome://tracing
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "dag/properties.hpp"
+#include "dag/serialization.hpp"
+#include "net/builders.hpp"
+#include "net/serialization.hpp"
+#include "sched/annealing.hpp"
+#include "sched/ba.hpp"
+#include "sched/bbsa.hpp"
+#include "sched/classic.hpp"
+#include "sched/genetic.hpp"
+#include "sched/metrics.hpp"
+#include "sched/oihsa.hpp"
+#include "sched/packetized.hpp"
+#include "sched/trace_export.hpp"
+#include "sched/validator.hpp"
+
+namespace {
+
+using namespace edgesched;
+
+struct Args {
+  std::string graph_file;
+  std::string graph_format = "text";
+  std::string topology_file;
+  std::string builder;
+  std::size_t builder_size = 8;
+  bool heterogeneous = false;
+  std::uint64_t seed = 1;
+  std::string algorithm = "oihsa";
+  double ccr = 0.0;  // 0 = keep the file's costs
+  std::string output = "schedule";
+};
+
+[[noreturn]] void usage(const std::string& error = {}) {
+  if (!error.empty()) {
+    std::cerr << "error: " << error << "\n\n";
+  }
+  std::cerr
+      << "usage: edgesched_cli --graph FILE [--graph-format text|stg]\n"
+         "         (--topology FILE | --wan N | --star N | --ring N |\n"
+         "          --fully-connected N) [--heterogeneous] [--seed S]\n"
+         "         [--algorithm ba|oihsa|bbsa|packet|classic|ga|sa]\n"
+         "         [--ccr X]\n"
+         "         [--output schedule|metrics|gantt|trace|dot]\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  const auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      usage(std::string(argv[i]) + " needs a value");
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--graph") {
+      args.graph_file = next(i);
+    } else if (flag == "--graph-format") {
+      args.graph_format = next(i);
+    } else if (flag == "--topology") {
+      args.topology_file = next(i);
+    } else if (flag == "--wan" || flag == "--star" || flag == "--ring" ||
+               flag == "--fully-connected") {
+      args.builder = flag.substr(2);
+      args.builder_size =
+          static_cast<std::size_t>(std::stoul(next(i)));
+    } else if (flag == "--heterogeneous") {
+      args.heterogeneous = true;
+    } else if (flag == "--seed") {
+      args.seed = std::stoull(next(i));
+    } else if (flag == "--algorithm") {
+      args.algorithm = next(i);
+    } else if (flag == "--ccr") {
+      args.ccr = std::stod(next(i));
+    } else if (flag == "--output") {
+      args.output = next(i);
+    } else if (flag == "--help" || flag == "-h") {
+      usage();
+    } else {
+      usage("unknown flag " + flag);
+    }
+  }
+  if (args.graph_file.empty()) {
+    usage("--graph is required");
+  }
+  if (args.topology_file.empty() && args.builder.empty()) {
+    usage("one of --topology/--wan/--star/--ring/--fully-connected is "
+          "required");
+  }
+  return args;
+}
+
+dag::TaskGraph load_graph(const Args& args) {
+  std::ifstream in(args.graph_file);
+  if (!in) {
+    usage("cannot open graph file " + args.graph_file);
+  }
+  dag::TaskGraph graph = args.graph_format == "stg"
+                             ? dag::read_stg(in)
+                             : dag::read_text(in);
+  if (args.ccr > 0.0) {
+    dag::rescale_to_ccr(graph, args.ccr);
+  }
+  return graph;
+}
+
+net::Topology load_topology(const Args& args) {
+  if (!args.topology_file.empty()) {
+    std::ifstream in(args.topology_file);
+    if (!in) {
+      usage("cannot open topology file " + args.topology_file);
+    }
+    return net::read_text(in);
+  }
+  Rng rng(args.seed);
+  net::SpeedConfig speeds;
+  speeds.heterogeneous = args.heterogeneous;
+  if (args.builder == "wan") {
+    net::RandomWanParams params;
+    params.num_processors = args.builder_size;
+    params.speeds = speeds;
+    return net::random_wan(params, rng);
+  }
+  if (args.builder == "star") {
+    return net::switched_star(args.builder_size, speeds, rng);
+  }
+  if (args.builder == "ring") {
+    return net::ring(args.builder_size, speeds, rng);
+  }
+  return net::fully_connected(args.builder_size, speeds, rng);
+}
+
+std::unique_ptr<sched::Scheduler> make_scheduler(const Args& args) {
+  if (args.algorithm == "ba") {
+    return std::make_unique<sched::BasicAlgorithm>();
+  }
+  if (args.algorithm == "oihsa") {
+    return std::make_unique<sched::Oihsa>();
+  }
+  if (args.algorithm == "bbsa") {
+    return std::make_unique<sched::Bbsa>();
+  }
+  if (args.algorithm == "packet") {
+    return std::make_unique<sched::PacketizedBa>();
+  }
+  if (args.algorithm == "classic") {
+    return std::make_unique<sched::ClassicScheduler>();
+  }
+  if (args.algorithm == "ga") {
+    return std::make_unique<sched::GeneticScheduler>();
+  }
+  if (args.algorithm == "sa") {
+    return std::make_unique<sched::AnnealingScheduler>();
+  }
+  usage("unknown algorithm " + args.algorithm);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    const dag::TaskGraph graph = load_graph(args);
+    const net::Topology topology = load_topology(args);
+    const auto scheduler = make_scheduler(args);
+    const sched::Schedule schedule =
+        scheduler->schedule(graph, topology);
+    sched::validate_or_throw(graph, topology, schedule);
+
+    if (args.output == "schedule") {
+      std::cout << schedule.to_string(graph, topology);
+    } else if (args.output == "metrics") {
+      std::cout << sched::to_string(
+          sched::compute_metrics(graph, topology, schedule));
+    } else if (args.output == "gantt") {
+      sched::write_ascii_gantt(std::cout, graph, topology, schedule);
+    } else if (args.output == "trace") {
+      sched::write_chrome_trace(std::cout, graph, topology, schedule);
+    } else if (args.output == "dot") {
+      dag::write_dot(std::cout, graph);
+    } else {
+      usage("unknown output " + args.output);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

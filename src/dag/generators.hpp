@@ -1,0 +1,104 @@
+// Task-graph generators.
+//
+// `random_layered` is the workload of the paper's evaluation (§6,
+// "construction of task graph is subject to [3]" — Bajaj & Agrawal): tasks
+// are placed into precedence layers, edges connect earlier layers to later
+// ones, and costs are drawn from U(i, j) ranges. The canonical generators
+// (chains, trees, fork-join, FFT, Gaussian elimination, stencil) provide
+// structured graphs with known critical paths for tests and examples.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace edgesched::dag {
+
+/// Parameters of the random layered generator. Defaults mirror the paper's
+/// evaluation except for the task-count range, which benches override.
+struct LayeredDagParams {
+  std::size_t num_tasks = 100;
+  /// Mean layer width as a fraction of sqrt(num_tasks); > 1 produces
+  /// wider/shallower graphs, < 1 deeper/narrower ones.
+  double width_factor = 1.0;
+  /// Each non-entry task draws U(in_degree_min, in_degree_max)
+  /// predecessors from the previous layer (clamped to its width), the
+  /// degree regime of the Bajaj–Agrawal generator family.
+  std::size_t in_degree_min = 1;
+  std::size_t in_degree_max = 4;
+  /// Probability of additional edges that skip one or more layers.
+  double skip_edge_probability = 0.15;
+  /// Computation cost range U(comp_min, comp_max) — paper: U(1, 1000).
+  double comp_min = 1.0;
+  double comp_max = 1000.0;
+  /// Communication cost range U(comm_min, comm_max) — paper: U(1, 1000);
+  /// experiments then rescale to a target CCR.
+  double comm_min = 1.0;
+  double comm_max = 1000.0;
+};
+
+/// Random layered DAG: every non-entry task has at least one predecessor
+/// in an earlier layer, every non-exit task at least one successor.
+[[nodiscard]] TaskGraph random_layered(const LayeredDagParams& params,
+                                       Rng& rng);
+
+/// Linear chain n_0 -> n_1 -> ... -> n_{length-1}; all weights
+/// `comp_cost`, all edges `comm_cost`.
+[[nodiscard]] TaskGraph chain(std::size_t length, double comp_cost = 1.0,
+                              double comm_cost = 1.0);
+
+/// One source fanning out to `fanout` independent sinks.
+[[nodiscard]] TaskGraph fork(std::size_t fanout, double comp_cost = 1.0,
+                             double comm_cost = 1.0);
+
+/// `fanin` independent sources joining into one sink.
+[[nodiscard]] TaskGraph join(std::size_t fanin, double comp_cost = 1.0,
+                             double comm_cost = 1.0);
+
+/// Source -> `width` parallel tasks -> sink (the classic fork-join).
+[[nodiscard]] TaskGraph fork_join(std::size_t width, double comp_cost = 1.0,
+                                  double comm_cost = 1.0);
+
+/// Complete binary out-tree with `levels` levels (2^levels - 1 tasks).
+[[nodiscard]] TaskGraph out_tree(std::size_t levels, double comp_cost = 1.0,
+                                 double comm_cost = 1.0);
+
+/// Complete binary in-tree with `levels` levels (2^levels - 1 tasks).
+[[nodiscard]] TaskGraph in_tree(std::size_t levels, double comp_cost = 1.0,
+                                double comm_cost = 1.0);
+
+/// Butterfly dependence structure of an FFT over `points` inputs
+/// (`points` must be a power of two): (log2(points)+1) rows of `points`
+/// tasks each.
+[[nodiscard]] TaskGraph fft(std::size_t points, double comp_cost = 1.0,
+                            double comm_cost = 1.0);
+
+/// Dependence structure of Gaussian elimination on an m×m matrix: for each
+/// pivot k a pivot-column task feeds the (m-k-1) update tasks of the
+/// trailing submatrix row heads, which feed the next pivot.
+[[nodiscard]] TaskGraph gaussian_elimination(std::size_t m,
+                                             double comp_cost = 1.0,
+                                             double comm_cost = 1.0);
+
+/// `steps` × `points` wavefront (1-D stencil over time): each task depends
+/// on its own and its neighbours' values from the previous step.
+[[nodiscard]] TaskGraph stencil_1d(std::size_t steps, std::size_t points,
+                                   double comp_cost = 1.0,
+                                   double comm_cost = 1.0);
+
+/// Diamond lattice of side `side` (2-D wavefront, as in dynamic
+/// programming tables): task (i, j) depends on (i-1, j) and (i, j-1).
+[[nodiscard]] TaskGraph diamond(std::size_t side, double comp_cost = 1.0,
+                                double comm_cost = 1.0);
+
+/// Right-looking tiled Cholesky factorisation over a `tiles` × `tiles`
+/// lower-triangular tile grid — the canonical dense-linear-algebra task
+/// graph (POTRF / TRSM / SYRK / GEMM kernels). `tile_flops` scales the
+/// computation costs (kernels weigh 1/3/3/6 × tile_flops);
+/// `tile_volume` is the communication cost of moving one tile.
+[[nodiscard]] TaskGraph cholesky(std::size_t tiles,
+                                 double tile_flops = 3.0,
+                                 double tile_volume = 1.0);
+
+}  // namespace edgesched::dag

@@ -1,0 +1,58 @@
+// Static DAG properties: levels, critical path, CCR, shape statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+
+namespace edgesched::dag {
+
+/// bl(n) = w(n) + max over successors s of (c(e_{n,s}) + bl(s)).
+/// This is the paper's static priority (§2.1): the length of the longest
+/// path leaving the task, including its own computation.
+[[nodiscard]] std::vector<double> bottom_levels(const TaskGraph& graph);
+
+/// Computation-only bottom level (communication costs treated as zero);
+/// useful as an alternative priority scheme and for ablation studies.
+[[nodiscard]] std::vector<double> bottom_levels_computation_only(
+    const TaskGraph& graph);
+
+/// tl(n) = max over predecessors p of (tl(p) + w(p) + c(e_{p,n})), 0 for
+/// entry tasks: the length of the longest path arriving at the task.
+[[nodiscard]] std::vector<double> top_levels(const TaskGraph& graph);
+
+/// Length of the longest w+c path through the DAG — equals max bl(n).
+[[nodiscard]] double critical_path_length(const TaskGraph& graph);
+
+/// Tasks of the longest path, entry to exit, following maximal bl.
+[[nodiscard]] std::vector<TaskId> critical_path(const TaskGraph& graph);
+
+/// Communication-to-computation ratio: mean edge cost / mean task weight.
+/// Returns 0 for graphs without edges.
+[[nodiscard]] double communication_computation_ratio(const TaskGraph& graph);
+
+/// Multiplies all communication costs by a common factor so that the
+/// graph's CCR becomes `target`. No-op (throws) for edgeless or zero
+/// computation graphs.
+void rescale_to_ccr(TaskGraph& graph, double target);
+
+/// Shape statistics for reporting and generator tests.
+struct GraphShape {
+  std::size_t num_tasks = 0;
+  std::size_t num_edges = 0;
+  std::size_t depth = 0;      ///< number of precedence levels
+  std::size_t max_width = 0;  ///< max tasks in one precedence level
+  double avg_out_degree = 0.0;
+  std::size_t num_entries = 0;
+  std::size_t num_exits = 0;
+};
+
+[[nodiscard]] GraphShape shape(const TaskGraph& graph);
+
+/// Precedence level of each task: 0 for entries, otherwise
+/// 1 + max(level of predecessors).
+[[nodiscard]] std::vector<std::size_t> precedence_levels(
+    const TaskGraph& graph);
+
+}  // namespace edgesched::dag

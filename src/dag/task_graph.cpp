@@ -1,0 +1,185 @@
+#include "dag/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace edgesched::dag {
+
+TaskId TaskGraph::add_task(double weight, std::string name) {
+  throw_if(weight < 0.0, "TaskGraph::add_task: negative computation cost");
+  TaskId id(tasks_.size());
+  if (name.empty()) {
+    name = "n" + std::to_string(id.value());
+  }
+  tasks_.push_back(Task{std::move(name), weight, {}, {}});
+  return id;
+}
+
+EdgeId TaskGraph::add_edge(TaskId src, TaskId dst, double cost) {
+  throw_if(!src.valid() || src.index() >= tasks_.size(),
+           "TaskGraph::add_edge: invalid source task");
+  throw_if(!dst.valid() || dst.index() >= tasks_.size(),
+           "TaskGraph::add_edge: invalid destination task");
+  throw_if(src == dst, "TaskGraph::add_edge: self loop");
+  throw_if(cost < 0.0, "TaskGraph::add_edge: negative communication cost");
+  for (EdgeId existing : tasks_[src.index()].out_edges) {
+    throw_if(edges_[existing.index()].dst == dst,
+             "TaskGraph::add_edge: duplicate edge");
+  }
+  EdgeId id(edges_.size());
+  edges_.push_back(Edge{src, dst, cost});
+  tasks_[src.index()].out_edges.push_back(id);
+  tasks_[dst.index()].in_edges.push_back(id);
+  return id;
+}
+
+void TaskGraph::set_cost(EdgeId id, double cost) {
+  throw_if(!id.valid() || id.index() >= edges_.size(),
+           "TaskGraph::set_cost: invalid edge");
+  throw_if(cost < 0.0, "TaskGraph::set_cost: negative communication cost");
+  edges_[id.index()].cost = cost;
+}
+
+void TaskGraph::set_weight(TaskId id, double weight) {
+  throw_if(!id.valid() || id.index() >= tasks_.size(),
+           "TaskGraph::set_weight: invalid task");
+  throw_if(weight < 0.0, "TaskGraph::set_weight: negative computation cost");
+  tasks_[id.index()].weight = weight;
+}
+
+std::vector<TaskId> TaskGraph::predecessors(TaskId id) const {
+  std::vector<TaskId> result;
+  result.reserve(in_edges(id).size());
+  for (EdgeId e : in_edges(id)) {
+    result.push_back(edge(e).src);
+  }
+  return result;
+}
+
+std::vector<TaskId> TaskGraph::successors(TaskId id) const {
+  std::vector<TaskId> result;
+  result.reserve(out_edges(id).size());
+  for (EdgeId e : out_edges(id)) {
+    result.push_back(edge(e).dst);
+  }
+  return result;
+}
+
+std::vector<TaskId> TaskGraph::entry_tasks() const {
+  std::vector<TaskId> result;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].in_edges.empty()) {
+      result.emplace_back(i);
+    }
+  }
+  return result;
+}
+
+std::vector<TaskId> TaskGraph::exit_tasks() const {
+  std::vector<TaskId> result;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].out_edges.empty()) {
+      result.emplace_back(i);
+    }
+  }
+  return result;
+}
+
+std::vector<TaskId> TaskGraph::all_tasks() const {
+  std::vector<TaskId> result;
+  result.reserve(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    result.emplace_back(i);
+  }
+  return result;
+}
+
+std::vector<EdgeId> TaskGraph::all_edges() const {
+  std::vector<EdgeId> result;
+  result.reserve(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    result.emplace_back(i);
+  }
+  return result;
+}
+
+bool TaskGraph::is_acyclic() const {
+  // Kahn's algorithm: the graph is acyclic iff all tasks drain.
+  std::vector<std::size_t> indegree(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    indegree[i] = tasks_[i].in_edges.size();
+  }
+  std::queue<std::size_t> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (indegree[i] == 0) {
+      ready.push(i);
+    }
+  }
+  std::size_t drained = 0;
+  while (!ready.empty()) {
+    const std::size_t current = ready.front();
+    ready.pop();
+    ++drained;
+    for (EdgeId e : tasks_[current].out_edges) {
+      const std::size_t next = edges_[e.index()].dst.index();
+      if (--indegree[next] == 0) {
+        ready.push(next);
+      }
+    }
+  }
+  return drained == tasks_.size();
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  std::vector<std::size_t> indegree(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    indegree[i] = tasks_[i].in_edges.size();
+  }
+  // Smallest-id-first among ready tasks keeps the order deterministic and
+  // independent of container internals.
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<>> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (indegree[i] == 0) {
+      ready.push(i);
+    }
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const std::size_t current = ready.top();
+    ready.pop();
+    order.emplace_back(current);
+    for (EdgeId e : tasks_[current].out_edges) {
+      const std::size_t next = edges_[e.index()].dst.index();
+      if (--indegree[next] == 0) {
+        ready.push(next);
+      }
+    }
+  }
+  throw_if(order.size() != tasks_.size(),
+           "TaskGraph::topological_order: graph contains a cycle");
+  return order;
+}
+
+void TaskGraph::validate() const {
+  throw_if(!is_acyclic(), "TaskGraph::validate: graph contains a cycle");
+}
+
+double TaskGraph::total_computation() const noexcept {
+  double sum = 0.0;
+  for (const Task& t : tasks_) {
+    sum += t.weight;
+  }
+  return sum;
+}
+
+double TaskGraph::total_communication() const noexcept {
+  double sum = 0.0;
+  for (const Edge& e : edges_) {
+    sum += e.cost;
+  }
+  return sum;
+}
+
+}  // namespace edgesched::dag

@@ -1,0 +1,290 @@
+#include "net/builders.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace edgesched::net {
+
+namespace {
+
+double sample_speed(Rng& rng, double lo, double hi) {
+  // Paper speeds are integers from U(1, 10).
+  return static_cast<double>(
+      rng.uniform_int(static_cast<std::int64_t>(lo),
+                      static_cast<std::int64_t>(hi)));
+}
+
+std::vector<NodeId> add_processors(Topology& topology, std::size_t count,
+                                   const SpeedConfig& speeds, Rng& rng) {
+  std::vector<NodeId> processors;
+  processors.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    processors.push_back(topology.add_processor(speeds.processor_speed(rng)));
+  }
+  return processors;
+}
+
+}  // namespace
+
+double SpeedConfig::processor_speed(Rng& rng) const {
+  return heterogeneous
+             ? sample_speed(rng, processor_speed_min, processor_speed_max)
+             : fixed_processor_speed;
+}
+
+double SpeedConfig::link_speed(Rng& rng) const {
+  return heterogeneous ? sample_speed(rng, link_speed_min, link_speed_max)
+                       : fixed_link_speed;
+}
+
+Topology fully_connected(std::size_t num_processors,
+                         const SpeedConfig& speeds, Rng& rng) {
+  throw_if(num_processors == 0, "fully_connected: need processors");
+  Topology topology("fully_connected");
+  const auto procs = add_processors(topology, num_processors, speeds, rng);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    for (std::size_t j = i + 1; j < procs.size(); ++j) {
+      topology.add_duplex_link(procs[i], procs[j], speeds.link_speed(rng));
+    }
+  }
+  return topology;
+}
+
+Topology switched_star(std::size_t num_processors, const SpeedConfig& speeds,
+                       Rng& rng) {
+  throw_if(num_processors == 0, "switched_star: need processors");
+  Topology topology("switched_star");
+  const NodeId hub = topology.add_switch("hub");
+  for (std::size_t i = 0; i < num_processors; ++i) {
+    const NodeId p = topology.add_processor(speeds.processor_speed(rng));
+    topology.add_duplex_link(p, hub, speeds.link_speed(rng));
+  }
+  return topology;
+}
+
+Topology ring(std::size_t num_processors, const SpeedConfig& speeds,
+              Rng& rng) {
+  throw_if(num_processors < 2, "ring: need at least 2 processors");
+  Topology topology("ring");
+  const auto procs = add_processors(topology, num_processors, speeds, rng);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    topology.add_duplex_link(procs[i], procs[(i + 1) % procs.size()],
+                             speeds.link_speed(rng));
+  }
+  return topology;
+}
+
+Topology mesh2d(std::size_t rows, std::size_t cols, const SpeedConfig& speeds,
+                Rng& rng) {
+  throw_if(rows == 0 || cols == 0, "mesh2d: need a non-empty grid");
+  Topology topology("mesh2d");
+  const auto procs = add_processors(topology, rows * cols, speeds, rng);
+  const auto at = [&](std::size_t r, std::size_t c) {
+    return procs[r * cols + c];
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        topology.add_duplex_link(at(r, c), at(r, c + 1),
+                                 speeds.link_speed(rng));
+      }
+      if (r + 1 < rows) {
+        topology.add_duplex_link(at(r, c), at(r + 1, c),
+                                 speeds.link_speed(rng));
+      }
+    }
+  }
+  return topology;
+}
+
+Topology torus2d(std::size_t rows, std::size_t cols, const SpeedConfig& speeds,
+                 Rng& rng) {
+  throw_if(rows < 2 || cols < 2, "torus2d: need at least a 2x2 grid");
+  Topology topology = mesh2d(rows, cols, speeds, rng);
+  topology.set_name("torus2d");
+  const auto at = [&](std::size_t r, std::size_t c) {
+    return topology.processors()[r * cols + c];
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (cols > 2) {
+      topology.add_duplex_link(at(r, cols - 1), at(r, 0),
+                               speeds.link_speed(rng));
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (rows > 2) {
+      topology.add_duplex_link(at(rows - 1, c), at(0, c),
+                               speeds.link_speed(rng));
+    }
+  }
+  return topology;
+}
+
+Topology hypercube(std::size_t dimensions, const SpeedConfig& speeds,
+                   Rng& rng) {
+  throw_if(dimensions == 0 || dimensions > 20,
+           "hypercube: dimensions must be in [1, 20]");
+  Topology topology("hypercube");
+  const std::size_t count = std::size_t{1} << dimensions;
+  const auto procs = add_processors(topology, count, speeds, rng);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t d = 0; d < dimensions; ++d) {
+      const std::size_t j = i ^ (std::size_t{1} << d);
+      if (i < j) {
+        topology.add_duplex_link(procs[i], procs[j], speeds.link_speed(rng));
+      }
+    }
+  }
+  return topology;
+}
+
+Topology fat_tree(std::size_t num_leaf_switches,
+                  std::size_t processors_per_switch, const SpeedConfig& speeds,
+                  Rng& rng) {
+  throw_if(num_leaf_switches == 0 || processors_per_switch == 0,
+           "fat_tree: need leaves and processors");
+  Topology topology("fat_tree");
+  const NodeId core = topology.add_switch("core");
+  for (std::size_t s = 0; s < num_leaf_switches; ++s) {
+    const NodeId leaf = topology.add_switch("leaf" + std::to_string(s));
+    topology.add_duplex_link(leaf, core, speeds.link_speed(rng));
+    for (std::size_t p = 0; p < processors_per_switch; ++p) {
+      const NodeId proc =
+          topology.add_processor(speeds.processor_speed(rng));
+      topology.add_duplex_link(proc, leaf, speeds.link_speed(rng));
+    }
+  }
+  return topology;
+}
+
+Topology bus(std::size_t num_processors, const SpeedConfig& speeds,
+             Rng& rng) {
+  throw_if(num_processors < 2, "bus: need at least 2 processors");
+  Topology topology("bus");
+  const auto procs = add_processors(topology, num_processors, speeds, rng);
+  topology.add_bus(procs, speeds.link_speed(rng));
+  return topology;
+}
+
+Topology dragonfly(std::size_t groups, std::size_t switches_per_group,
+                   std::size_t processors_per_switch,
+                   const SpeedConfig& speeds, Rng& rng) {
+  throw_if(groups == 0 || switches_per_group == 0 ||
+               processors_per_switch == 0,
+           "dragonfly: all dimensions must be positive");
+  Topology topology("dragonfly");
+  std::vector<std::vector<NodeId>> group_switches(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t s = 0; s < switches_per_group; ++s) {
+      const NodeId sw = topology.add_switch(
+          "g" + std::to_string(g) + "s" + std::to_string(s));
+      group_switches[g].push_back(sw);
+      for (std::size_t p = 0; p < processors_per_switch; ++p) {
+        const NodeId proc =
+            topology.add_processor(speeds.processor_speed(rng));
+        topology.add_duplex_link(proc, sw, speeds.link_speed(rng));
+      }
+    }
+    // Local all-to-all inside the group.
+    for (std::size_t a = 0; a < switches_per_group; ++a) {
+      for (std::size_t b = a + 1; b < switches_per_group; ++b) {
+        topology.add_duplex_link(group_switches[g][a],
+                                 group_switches[g][b],
+                                 speeds.link_speed(rng));
+      }
+    }
+  }
+  // One global cable between every pair of groups, endpoints rotating
+  // over the group's switches.
+  std::size_t spin = 0;
+  for (std::size_t a = 0; a < groups; ++a) {
+    for (std::size_t b = a + 1; b < groups; ++b) {
+      const NodeId from =
+          group_switches[a][spin % switches_per_group];
+      const NodeId to =
+          group_switches[b][(spin + 1) % switches_per_group];
+      topology.add_duplex_link(from, to, speeds.link_speed(rng));
+      ++spin;
+    }
+  }
+  return topology;
+}
+
+Topology switch_tree(std::size_t levels, std::size_t arity,
+                     std::size_t processors_per_leaf,
+                     const SpeedConfig& speeds, Rng& rng) {
+  throw_if(levels == 0 || arity == 0 || processors_per_leaf == 0,
+           "switch_tree: all dimensions must be positive");
+  throw_if(levels > 8, "switch_tree: too many levels");
+  Topology topology("switch_tree");
+  std::vector<NodeId> frontier{topology.add_switch("root")};
+  for (std::size_t level = 1; level < levels; ++level) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * arity);
+    for (NodeId parent : frontier) {
+      for (std::size_t child = 0; child < arity; ++child) {
+        const NodeId sw = topology.add_switch();
+        topology.add_duplex_link(sw, parent, speeds.link_speed(rng));
+        next.push_back(sw);
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (NodeId leaf : frontier) {
+    for (std::size_t p = 0; p < processors_per_leaf; ++p) {
+      const NodeId proc =
+          topology.add_processor(speeds.processor_speed(rng));
+      topology.add_duplex_link(proc, leaf, speeds.link_speed(rng));
+    }
+  }
+  return topology;
+}
+
+Topology random_wan(const RandomWanParams& params, Rng& rng) {
+  throw_if(params.num_processors == 0, "random_wan: need processors");
+  throw_if(params.fanout_min == 0 || params.fanout_min > params.fanout_max,
+           "random_wan: bad fanout range");
+  Topology topology("random_wan");
+
+  // Partition processors over switches with random fan-out U(min, max).
+  std::vector<NodeId> switches;
+  std::size_t assigned = 0;
+  while (assigned < params.num_processors) {
+    const NodeId sw =
+        topology.add_switch("S" + std::to_string(switches.size()));
+    switches.push_back(sw);
+    std::size_t fanout = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(params.fanout_min),
+                        static_cast<std::int64_t>(params.fanout_max)));
+    fanout = std::min(fanout, params.num_processors - assigned);
+    for (std::size_t i = 0; i < fanout; ++i) {
+      const NodeId proc =
+          topology.add_processor(params.speeds.processor_speed(rng));
+      topology.add_duplex_link(proc, sw, params.speeds.link_speed(rng));
+    }
+    assigned += fanout;
+  }
+
+  // Random spanning tree over switches guarantees "a path between any pair
+  // of switches" (paper §6); each new switch attaches to a random earlier
+  // one.
+  for (std::size_t s = 1; s < switches.size(); ++s) {
+    const NodeId earlier = switches[rng.index(s)];
+    topology.add_duplex_link(switches[s], earlier,
+                             params.speeds.link_speed(rng));
+  }
+
+  // Extra random switch-switch cables create the route diversity the
+  // modified routing algorithm exploits.
+  for (std::size_t a = 0; a < switches.size(); ++a) {
+    for (std::size_t b = a + 1; b < switches.size(); ++b) {
+      if (rng.bernoulli(params.extra_switch_link_probability)) {
+        topology.add_duplex_link(switches[a], switches[b],
+                                 params.speeds.link_speed(rng));
+      }
+    }
+  }
+  return topology;
+}
+
+}  // namespace edgesched::net

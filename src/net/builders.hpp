@@ -1,0 +1,109 @@
+// Topology factories.
+//
+// `random_wan` is the evaluation network of the paper (§6): switches each
+// connecting U(4,16) processors, switches randomly interconnected but
+// mutually reachable. The regular fabrics (fully connected, star, ring,
+// mesh, torus, hypercube, fat-tree, bus) serve tests, examples and
+// ablations; `fully_connected` with uniform speeds is the classic
+// contention-free model's network made explicit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace edgesched::net {
+
+/// Speed configuration shared by the builders. Homogeneous systems use
+/// fixed speeds (paper: all 1); heterogeneous systems draw integer speeds
+/// from U(min, max) (paper: U(1, 10)).
+struct SpeedConfig {
+  bool heterogeneous = false;
+  double fixed_processor_speed = 1.0;
+  double fixed_link_speed = 1.0;
+  double processor_speed_min = 1.0;
+  double processor_speed_max = 10.0;
+  double link_speed_min = 1.0;
+  double link_speed_max = 10.0;
+
+  [[nodiscard]] double processor_speed(Rng& rng) const;
+  [[nodiscard]] double link_speed(Rng& rng) const;
+};
+
+/// Every pair of processors joined by a dedicated full-duplex cable: the
+/// idealised fully connected machine, but with explicit (and therefore
+/// schedulable) links.
+[[nodiscard]] Topology fully_connected(std::size_t num_processors,
+                                       const SpeedConfig& speeds, Rng& rng);
+
+/// All processors hang off one central switch. The single switch makes
+/// every cross-processor message share the fabric — the simplest contended
+/// topology.
+[[nodiscard]] Topology switched_star(std::size_t num_processors,
+                                     const SpeedConfig& speeds, Rng& rng);
+
+/// Processors in a cycle, duplex cables between neighbours; messages are
+/// forwarded through intermediate processors.
+[[nodiscard]] Topology ring(std::size_t num_processors,
+                            const SpeedConfig& speeds, Rng& rng);
+
+/// rows × cols grid of processors with duplex cables between 4-neighbours.
+[[nodiscard]] Topology mesh2d(std::size_t rows, std::size_t cols,
+                              const SpeedConfig& speeds, Rng& rng);
+
+/// Like mesh2d plus wraparound cables.
+[[nodiscard]] Topology torus2d(std::size_t rows, std::size_t cols,
+                               const SpeedConfig& speeds, Rng& rng);
+
+/// 2^dimensions processors, duplex cable per hypercube edge.
+[[nodiscard]] Topology hypercube(std::size_t dimensions,
+                                 const SpeedConfig& speeds, Rng& rng);
+
+/// Two-level switch tree: `num_leaf_switches` leaf switches with
+/// `processors_per_switch` processors each, all leaves connected to a
+/// core switch by duplex uplinks.
+[[nodiscard]] Topology fat_tree(std::size_t num_leaf_switches,
+                                std::size_t processors_per_switch,
+                                const SpeedConfig& speeds, Rng& rng);
+
+/// All processors on one shared bus (a hyperedge of H): every transfer
+/// contends for the same medium.
+[[nodiscard]] Topology bus(std::size_t num_processors,
+                           const SpeedConfig& speeds, Rng& rng);
+
+/// Dragonfly-style fabric: `groups` groups of `switches_per_group`
+/// switches (fully meshed inside a group, one global cable between every
+/// pair of groups), each switch hosting `processors_per_switch`
+/// processors. The staple of modern HPC interconnects.
+[[nodiscard]] Topology dragonfly(std::size_t groups,
+                                 std::size_t switches_per_group,
+                                 std::size_t processors_per_switch,
+                                 const SpeedConfig& speeds, Rng& rng);
+
+/// Balanced switch tree of `levels` levels and arity `arity` with
+/// processors on the leaf switches — a deeper generalisation of
+/// `fat_tree`.
+[[nodiscard]] Topology switch_tree(std::size_t levels, std::size_t arity,
+                                   std::size_t processors_per_leaf,
+                                   const SpeedConfig& speeds, Rng& rng);
+
+/// Parameters of the paper's random wide-area network.
+struct RandomWanParams {
+  std::size_t num_processors = 16;
+  /// Switch fan-out drawn from U(fanout_min, fanout_max) — paper: U(4,16).
+  std::size_t fanout_min = 4;
+  std::size_t fanout_max = 16;
+  /// Probability of each extra switch-switch cable beyond the random
+  /// spanning tree that guarantees connectivity.
+  double extra_switch_link_probability = 0.3;
+  SpeedConfig speeds;
+};
+
+/// Random multi-switch WAN per the paper: processors partitioned over
+/// switches with random fan-out, switches joined by a random spanning tree
+/// plus extra random cables for route diversity.
+[[nodiscard]] Topology random_wan(const RandomWanParams& params, Rng& rng);
+
+}  // namespace edgesched::net

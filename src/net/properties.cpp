@@ -1,0 +1,76 @@
+#include "net/properties.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace edgesched::net {
+
+std::vector<std::size_t> hop_distances(const Topology& topology,
+                                       NodeId from) {
+  throw_if(from.index() >= topology.num_nodes(),
+           "hop_distances: invalid start node");
+  constexpr std::size_t kUnreachable =
+      std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> distance(topology.num_nodes(), kUnreachable);
+  std::queue<NodeId> frontier;
+  distance[from.index()] = 0;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const NodeId current = frontier.front();
+    frontier.pop();
+    for (LinkId l : topology.out_links(current)) {
+      const NodeId next = topology.link(l).dst;
+      if (distance[next.index()] == kUnreachable) {
+        distance[next.index()] = distance[current.index()] + 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return distance;
+}
+
+TopologyStats analyze(const Topology& topology) {
+  TopologyStats stats;
+  stats.num_processors = topology.num_processors();
+  stats.num_switches = topology.num_nodes() - topology.num_processors();
+  stats.num_links = topology.num_links();
+  stats.num_domains = topology.num_domains();
+  stats.mean_link_speed = topology.mean_link_speed();
+
+  if (topology.num_links() > 0) {
+    stats.min_link_speed = std::numeric_limits<double>::infinity();
+    for (LinkId l : topology.all_links()) {
+      stats.min_link_speed =
+          std::min(stats.min_link_speed, topology.link_speed(l));
+      stats.max_link_speed =
+          std::max(stats.max_link_speed, topology.link_speed(l));
+    }
+  }
+
+  const auto& processors = topology.processors();
+  std::size_t pairs = 0;
+  double total_distance = 0.0;
+  for (NodeId from : processors) {
+    const std::vector<std::size_t> distance =
+        hop_distances(topology, from);
+    for (NodeId to : processors) {
+      if (from == to) {
+        continue;
+      }
+      throw_if(distance[to.index()] ==
+                   std::numeric_limits<std::size_t>::max(),
+               "analyze: processors are not mutually reachable");
+      stats.diameter = std::max(stats.diameter, distance[to.index()]);
+      total_distance += static_cast<double>(distance[to.index()]);
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    stats.mean_processor_distance =
+        total_distance / static_cast<double>(pairs);
+  }
+  return stats;
+}
+
+}  // namespace edgesched::net

@@ -1,0 +1,35 @@
+// Structural network properties: distance statistics and degree reports,
+// used by topology tests, examples and the experiment write-ups.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace edgesched::net {
+
+struct TopologyStats {
+  std::size_t num_processors = 0;
+  std::size_t num_switches = 0;
+  std::size_t num_links = 0;
+  std::size_t num_domains = 0;
+  /// Largest hop distance between any two processors.
+  std::size_t diameter = 0;
+  /// Mean hop distance over ordered processor pairs.
+  double mean_processor_distance = 0.0;
+  double mean_link_speed = 0.0;
+  double min_link_speed = 0.0;
+  double max_link_speed = 0.0;
+};
+
+/// BFS hop distances from `from` to every node; unreachable nodes get
+/// SIZE_MAX.
+[[nodiscard]] std::vector<std::size_t> hop_distances(
+    const Topology& topology, NodeId from);
+
+/// Full statistics sweep; O(P · (N + L)). Throws when some processor pair
+/// is unreachable.
+[[nodiscard]] TopologyStats analyze(const Topology& topology);
+
+}  // namespace edgesched::net

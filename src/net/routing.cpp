@@ -1,0 +1,184 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace edgesched::net {
+
+Route bfs_route(const Topology& topology, NodeId from, NodeId to) {
+  throw_if(from.index() >= topology.num_nodes() ||
+               to.index() >= topology.num_nodes(),
+           "bfs_route: invalid endpoint");
+  if (from == to) {
+    return {};
+  }
+  std::vector<LinkId> parent(topology.num_nodes());
+  std::vector<bool> seen(topology.num_nodes(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(from);
+  seen[from.index()] = true;
+  while (!frontier.empty() && !seen[to.index()]) {
+    const NodeId current = frontier.front();
+    frontier.pop();
+    for (LinkId l : topology.out_links(current)) {
+      const NodeId next = topology.link(l).dst;
+      if (!seen[next.index()]) {
+        seen[next.index()] = true;
+        parent[next.index()] = l;
+        frontier.push(next);
+      }
+    }
+  }
+  throw_if(!seen[to.index()], "bfs_route: destination unreachable");
+  Route route;
+  NodeId at = to;
+  while (at != from) {
+    const LinkId hop = parent[at.index()];
+    route.push_back(hop);
+    at = topology.link(hop).src;
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+const Route& RouteCache::route(NodeId from, NodeId to) {
+  const auto key = std::make_pair(from, to);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, bfs_route(*topology_, from, to)).first;
+  }
+  return it->second;
+}
+
+Route dijkstra_route(const Topology& topology, NodeId from, NodeId to,
+                     const std::function<double(LinkId)>& weight) {
+  const auto link_weight = [&](LinkId l) {
+    return weight ? weight(l) : 1.0 / topology.link_speed(l);
+  };
+  // Express static weights through the probe machinery: arrival time plays
+  // the role of accumulated distance.
+  const auto probe = [&](LinkId l, const ProbeState& state) {
+    const double w = link_weight(l);
+    throw_if(w < 0.0, "dijkstra_route: negative link weight");
+    return ProbeResult{state.earliest_start + w, state.earliest_start + w};
+  };
+  return dijkstra_route_probe(topology, from, to, 0.0, probe);
+}
+
+Route dijkstra_route_avoiding(const Topology& topology, NodeId from,
+                              NodeId to,
+                              const std::vector<bool>& banned_links,
+                              const std::vector<bool>& banned_nodes,
+                              const std::function<double(LinkId)>& weight) {
+  const auto link_weight = [&](LinkId l) {
+    return weight ? weight(l) : 1.0 / topology.link_speed(l);
+  };
+  constexpr double kBlocked = std::numeric_limits<double>::infinity();
+  const auto probe = [&](LinkId l, const ProbeState& state) {
+    const Link& link = topology.link(l);
+    const bool banned =
+        (l.index() < banned_links.size() && banned_links[l.index()]) ||
+        (link.dst.index() < banned_nodes.size() &&
+         banned_nodes[link.dst.index()]);
+    const double w = banned ? kBlocked : link_weight(l);
+    return ProbeResult{state.earliest_start + w,
+                       state.earliest_start + w};
+  };
+  try {
+    Route route = dijkstra_route_probe(topology, from, to, 0.0, probe);
+    // A "found" route through blocked links has infinite weight.
+    for (LinkId l : route) {
+      if (l.index() < banned_links.size() && banned_links[l.index()]) {
+        return {};
+      }
+      const Link& link = topology.link(l);
+      if (link.dst.index() < banned_nodes.size() &&
+          banned_nodes[link.dst.index()]) {
+        return {};
+      }
+    }
+    return route;
+  } catch (const std::invalid_argument&) {
+    return {};
+  }
+}
+
+std::vector<Route> k_shortest_routes(
+    const Topology& topology, NodeId from, NodeId to, std::size_t k,
+    const std::function<double(LinkId)>& weight) {
+  throw_if(k == 0, "k_shortest_routes: k must be > 0");
+  throw_if(from == to, "k_shortest_routes: endpoints must differ");
+  const auto link_weight = [&](LinkId l) {
+    return weight ? weight(l) : 1.0 / topology.link_speed(l);
+  };
+  const auto route_weight = [&](const Route& route) {
+    double total = 0.0;
+    for (LinkId l : route) {
+      total += link_weight(l);
+    }
+    return total;
+  };
+  const auto route_less = [&](const Route& a, const Route& b) {
+    const double wa = route_weight(a);
+    const double wb = route_weight(b);
+    if (wa != wb) return wa < wb;
+    return a < b;  // deterministic tie-break
+  };
+
+  std::vector<Route> found;
+  found.push_back(dijkstra_route(topology, from, to, weight));
+  std::vector<Route> candidates;
+
+  while (found.size() < k) {
+    const Route& base = found.back();
+    // Yen: branch at every prefix of the last accepted route.
+    for (std::size_t spur = 0; spur < base.size(); ++spur) {
+      const NodeId spur_node =
+          spur == 0 ? from : topology.link(base[spur - 1]).dst;
+      std::vector<bool> banned_links(topology.num_links(), false);
+      std::vector<bool> banned_nodes(topology.num_nodes(), false);
+      // Ban the next link of every accepted route sharing this prefix.
+      for (const Route& existing : found) {
+        if (existing.size() > spur &&
+            std::equal(existing.begin(),
+                       existing.begin() +
+                           static_cast<std::ptrdiff_t>(spur),
+                       base.begin())) {
+          banned_links[existing[spur].index()] = true;
+        }
+      }
+      // Ban prefix nodes so spur paths stay loopless.
+      NodeId walker = from;
+      for (std::size_t i = 0; i < spur; ++i) {
+        banned_nodes[walker.index()] = true;
+        walker = topology.link(base[i]).dst;
+      }
+      const Route spur_path = dijkstra_route_avoiding(
+          topology, spur_node, to, banned_links, banned_nodes, weight);
+      if (spur_path.empty() && spur_node != to) {
+        continue;
+      }
+      Route candidate(base.begin(),
+                      base.begin() + static_cast<std::ptrdiff_t>(spur));
+      candidate.insert(candidate.end(), spur_path.begin(),
+                       spur_path.end());
+      if (std::find(found.begin(), found.end(), candidate) ==
+              found.end() &&
+          std::find(candidates.begin(), candidates.end(), candidate) ==
+              candidates.end()) {
+        candidates.push_back(std::move(candidate));
+      }
+    }
+    if (candidates.empty()) {
+      break;  // topology exhausted
+    }
+    const auto best = std::min_element(candidates.begin(),
+                                       candidates.end(), route_less);
+    found.push_back(*best);
+    candidates.erase(best);
+  }
+  return found;
+}
+
+}  // namespace edgesched::net

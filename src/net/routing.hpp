@@ -1,0 +1,188 @@
+// Routing algorithms.
+//
+// * `bfs_route` — minimal routing of Sinnen's Basic Algorithm: fewest
+//   hops, deterministic tie-break. Used with a `RouteCache`, this is the
+//   static routing layer.
+// * `dijkstra_route` — static weighted shortest path (default weight:
+//   1/s(L), i.e. per-unit transfer time).
+// * `dijkstra_route_probe` — the paper's *modified routing* (§4.3):
+//   Dijkstra whose relaxation key is the tentative finish time of the
+//   edge being routed on each link, supplied by a caller probe that
+//   consults the current link timelines (basic insertion, §3). Routes
+//   therefore steer around loaded links.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace edgesched::net {
+
+/// Minimal (fewest-hop) route from `from` to `to`. Deterministic: among
+/// equal-hop predecessors the first link in id order wins. Throws
+/// std::invalid_argument if no route exists. `from == to` yields {}.
+[[nodiscard]] Route bfs_route(const Topology& topology, NodeId from,
+                              NodeId to);
+
+/// Memoised BFS routes, keyed by (from, to). The Basic Algorithm's routing
+/// is static, so one cache amortises all BFS work across edges.
+class RouteCache {
+ public:
+  explicit RouteCache(const Topology& topology) : topology_(&topology) {}
+
+  /// Returns the cached minimal route, computing it on first use.
+  const Route& route(NodeId from, NodeId to);
+
+ private:
+  const Topology* topology_;
+  std::map<std::pair<NodeId, NodeId>, Route> cache_;
+};
+
+/// Static weighted shortest path; `weight(link)` must be non-negative.
+/// Defaults to per-unit transfer time 1/s(L).
+[[nodiscard]] Route dijkstra_route(
+    const Topology& topology, NodeId from, NodeId to,
+    const std::function<double(LinkId)>& weight = {});
+
+/// Like `dijkstra_route`, but links in `banned_links` and nodes in
+/// `banned_nodes` are unavailable. Returns an empty route when no path
+/// survives the bans (from != to).
+[[nodiscard]] Route dijkstra_route_avoiding(
+    const Topology& topology, NodeId from, NodeId to,
+    const std::vector<bool>& banned_links,
+    const std::vector<bool>& banned_nodes,
+    const std::function<double(LinkId)>& weight = {});
+
+/// Yen's algorithm: up to `k` loopless routes in non-decreasing weight
+/// order (fewer if the topology has fewer). Route diversity like this is
+/// what the modified routing algorithm exploits dynamically; the static
+/// variant serves analysis and tests.
+[[nodiscard]] std::vector<Route> k_shortest_routes(
+    const Topology& topology, NodeId from, NodeId to, std::size_t k,
+    const std::function<double(LinkId)>& weight = {});
+
+/// Inputs of a link probe: what the edge brings to the link from the
+/// previous hop (or from its source task, on the first hop).
+struct ProbeState {
+  double earliest_start = 0.0;  ///< t_es on this link
+  double min_finish = 0.0;      ///< finish may not precede previous link's
+};
+
+/// Outputs of a link probe: where the tentative (uncommitted) insertion
+/// would place the edge on this link.
+struct ProbeResult {
+  double virtual_start = 0.0;  ///< t_s — next hop's earliest start
+  double finish = 0.0;         ///< t_f — next hop's minimum finish
+};
+
+namespace detail {
+inline constexpr double kInfiniteTime =
+    std::numeric_limits<double>::infinity();
+}  // namespace detail
+
+/// Dynamic Dijkstra over tentative edge finish times (modified routing).
+///
+/// The probe is called with a candidate link and the state arriving at its
+/// source node and must return the basic-insertion placement on that link
+/// *without committing it*. Labels are ordered by (finish, virtual_start,
+/// hops) for determinism. Requires the probe to be monotone: a later
+/// arrival never yields an earlier finish, which basic insertion satisfies.
+template <typename Probe>
+[[nodiscard]] Route dijkstra_route_probe(const Topology& topology,
+                                         NodeId from, NodeId to,
+                                         double ready_time, Probe&& probe) {
+  throw_if(from.index() >= topology.num_nodes() ||
+               to.index() >= topology.num_nodes(),
+           "dijkstra_route_probe: invalid endpoint");
+  if (from == to) {
+    return {};
+  }
+
+  struct Label {
+    double finish = detail::kInfiniteTime;
+    double start = detail::kInfiniteTime;
+    std::size_t hops = 0;
+    LinkId parent;
+    bool settled = false;
+  };
+  std::vector<Label> labels(topology.num_nodes());
+
+  struct QueueEntry {
+    double finish;
+    double start;
+    std::size_t hops;
+    NodeId node;
+    bool operator>(const QueueEntry& other) const {
+      if (finish != other.finish) return finish > other.finish;
+      if (start != other.start) return start > other.start;
+      if (hops != other.hops) return hops > other.hops;
+      return node > other.node;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>> frontier;
+
+  labels[from.index()] =
+      Label{0.0, ready_time, 0, LinkId{}, false};
+  frontier.push(QueueEntry{0.0, ready_time, 0, from});
+
+  while (!frontier.empty()) {
+    const QueueEntry entry = frontier.top();
+    frontier.pop();
+    Label& current = labels[entry.node.index()];
+    if (current.settled || entry.finish > current.finish ||
+        (entry.finish == current.finish && entry.start > current.start)) {
+      continue;  // stale entry
+    }
+    current.settled = true;
+    if (entry.node == to) {
+      break;
+    }
+    for (LinkId l : topology.out_links(entry.node)) {
+      const NodeId next = topology.link(l).dst;
+      Label& next_label = labels[next.index()];
+      if (next_label.settled) {
+        continue;
+      }
+      const ProbeResult result =
+          probe(l, ProbeState{current.start, current.finish});
+      // Lexicographic relaxation (finish, start, hops): on an idle
+      // cut-through network every path yields the same finish, so hop
+      // count must break ties or routes balloon.
+      const bool better =
+          result.finish < next_label.finish ||
+          (result.finish == next_label.finish &&
+           (result.virtual_start < next_label.start ||
+            (result.virtual_start == next_label.start &&
+             current.hops + 1 < next_label.hops)));
+      if (better) {
+        next_label.finish = result.finish;
+        next_label.start = result.virtual_start;
+        next_label.hops = current.hops + 1;
+        next_label.parent = l;
+        frontier.push(QueueEntry{result.finish, result.virtual_start,
+                                 next_label.hops, next});
+      }
+    }
+  }
+
+  throw_if(!labels[to.index()].parent.valid(),
+           "dijkstra_route_probe: destination unreachable");
+  Route route;
+  NodeId at = to;
+  while (at != from) {
+    const LinkId hop = labels[at.index()].parent;
+    route.push_back(hop);
+    at = topology.link(hop).src;
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+}  // namespace edgesched::net

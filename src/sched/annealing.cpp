@@ -1,0 +1,67 @@
+#include "sched/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/oihsa.hpp"
+#include "util/rng.hpp"
+
+namespace edgesched::sched {
+
+AnnealingScheduler::AnnealingScheduler(const Options& options)
+    : options_(options) {
+  throw_if(options.iterations == 0,
+           "AnnealingScheduler: iterations must be > 0");
+  throw_if(options.cooling <= 0.0 || options.cooling >= 1.0,
+           "AnnealingScheduler: cooling must be in (0, 1)");
+  throw_if(options.initial_temperature_fraction <= 0.0,
+           "AnnealingScheduler: temperature fraction must be positive");
+}
+
+Schedule AnnealingScheduler::schedule(const dag::TaskGraph& graph,
+                                      const net::Topology& topology) const {
+  check_inputs(graph, topology);
+  Rng rng(options_.seed);
+  const auto& processors = topology.processors();
+
+  Assignment current =
+      assignment_of(graph, Oihsa{}.schedule(graph, topology));
+  double current_cost =
+      assignment_makespan(graph, topology, current, options_.evaluation);
+  Assignment best = current;
+  double best_cost = current_cost;
+
+  double temperature =
+      std::max(1e-9, options_.initial_temperature_fraction * current_cost);
+  for (std::size_t it = 0; it < options_.iterations; ++it) {
+    // Move: reassign one random task to a random processor.
+    const std::size_t gene = rng.index(graph.num_tasks());
+    const net::NodeId old_value = current[gene];
+    current[gene] = processors[rng.index(processors.size())];
+    if (current[gene] == old_value) {
+      continue;  // null move; don't cool
+    }
+    const double cost = assignment_makespan(graph, topology, current,
+                                            options_.evaluation);
+    const double delta = cost - current_cost;
+    const bool accept =
+        delta <= 0.0 ||
+        rng.uniform_real(0.0, 1.0) < std::exp(-delta / temperature);
+    if (accept) {
+      current_cost = cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = current;
+      }
+    } else {
+      current[gene] = old_value;
+    }
+    temperature *= options_.cooling;
+  }
+
+  AssignmentOptions labelled = options_.evaluation;
+  labelled.label = name();
+  return schedule_assignment(graph, topology, best, labelled);
+}
+
+}  // namespace edgesched::sched

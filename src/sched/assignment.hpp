@@ -1,0 +1,52 @@
+// Fixed-assignment contention scheduling.
+//
+// Several schedulers — the classic replay, the genetic algorithm and
+// simulated annealing search (metaheuristics the paper's introduction
+// cites as the alternative family) — all need the same primitive: given a
+// complete task→processor map, build the best contention-aware schedule
+// for it (list order by bottom level, ready-moment shipping, BFS routes,
+// first-fit link insertion) and report its makespan. This module is that
+// primitive.
+#pragma once
+
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "net/topology.hpp"
+#include "sched/priorities.hpp"
+#include "sched/schedule.hpp"
+
+namespace edgesched::sched {
+
+/// processor[i] is the processor of task i; every entry must name a valid
+/// processor of the topology.
+using Assignment = std::vector<net::NodeId>;
+
+struct AssignmentOptions {
+  PriorityScheme priority = PriorityScheme::kBottomLevel;
+  /// Insertion placement on processors (see ba.hpp). The metaheuristics
+  /// evaluate with the same policy the list schedulers use by default.
+  bool task_insertion = true;
+  /// Algorithm label stamped on the produced schedules.
+  std::string label = "ASSIGNMENT";
+};
+
+/// Builds the full contention-aware schedule realising `assignment`.
+/// Edges are routed over minimal BFS paths and booked with first-fit
+/// insertion; tasks execute in bottom-level list order. The result passes
+/// the full validator.
+[[nodiscard]] Schedule schedule_assignment(
+    const dag::TaskGraph& graph, const net::Topology& topology,
+    const Assignment& assignment, const AssignmentOptions& options = {});
+
+/// Convenience: makespan of `schedule_assignment` (the metaheuristics'
+/// fitness function).
+[[nodiscard]] double assignment_makespan(
+    const dag::TaskGraph& graph, const net::Topology& topology,
+    const Assignment& assignment, const AssignmentOptions& options = {});
+
+/// Extracts the assignment realised by an existing schedule.
+[[nodiscard]] Assignment assignment_of(const dag::TaskGraph& graph,
+                                       const Schedule& schedule);
+
+}  // namespace edgesched::sched

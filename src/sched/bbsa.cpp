@@ -1,0 +1,113 @@
+#include "sched/bbsa.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "net/routing.hpp"
+#include "sched/network_state.hpp"
+
+namespace edgesched::sched {
+
+Schedule Bbsa::schedule(const dag::TaskGraph& graph,
+                        const net::Topology& topology) const {
+  check_inputs(graph, topology);
+  Schedule out(name(), graph.num_tasks(), graph.num_edges());
+
+  const std::vector<dag::TaskId> order =
+      list_order(graph, options_.priority);
+  BandwidthNetworkState network(topology, options_.hop_delay);
+  MachineState machines(topology);
+  net::RouteCache bfs_routes(topology);
+  const double mls = topology.mean_link_speed();
+
+  for (dag::TaskId task : order) {
+    const double weight = graph.weight(task);
+
+    // Dynamic model (§4.1): communications leave when the task is ready.
+    double ready_moment = 0.0;
+    for (dag::EdgeId e : graph.in_edges(task)) {
+      ready_moment =
+          std::max(ready_moment, out.task(graph.edge(e).src).finish);
+    }
+
+    // Processor choice — identical to OIHSA (§4.1).
+    net::NodeId chosen;
+    double chosen_estimate = std::numeric_limits<double>::infinity();
+    for (net::NodeId processor : topology.processors()) {
+      double ready_estimate = 0.0;
+      for (dag::EdgeId e : graph.in_edges(task)) {
+        const dag::Edge& edge = graph.edge(e);
+        const TaskPlacement& src = out.task(edge.src);
+        double via = src.finish;
+        if (src.processor != processor && mls > 0.0) {
+          via += edge.cost / mls;
+        }
+        ready_estimate = std::max(ready_estimate, via);
+      }
+      const double estimate =
+          std::max(ready_estimate, machines.finish_time(processor)) +
+          weight / topology.processor_speed(processor);
+      if (estimate < chosen_estimate) {
+        chosen_estimate = estimate;
+        chosen = processor;
+      }
+    }
+
+    // Edge priority (§4.2).
+    std::vector<dag::EdgeId> in = graph.in_edges(task);
+    if (options_.edge_priority_by_cost) {
+      std::stable_sort(in.begin(), in.end(),
+                       [&](dag::EdgeId a, dag::EdgeId b) {
+                         return graph.cost(a) > graph.cost(b);
+                       });
+    }
+
+    double data_ready = ready_moment;
+    for (dag::EdgeId e : in) {
+      const dag::Edge& edge = graph.edge(e);
+      const TaskPlacement& src = out.task(edge.src);
+      EdgeCommunication comm;
+      comm.arrival = src.finish;
+      if (src.processor == chosen || edge.cost <= 0.0) {
+        comm.kind = EdgeCommunication::Kind::kLocal;
+      } else {
+        const double ship_time =
+            options_.eager_communication ? src.finish : ready_moment;
+        net::Route route;
+        if (options_.modified_routing) {
+          // Relaxation key: earliest finish of the full volume using the
+          // link's remaining bandwidth (the bandwidth analogue of §4.3).
+          const auto probe = [&](net::LinkId link,
+                                 const net::ProbeState& state) {
+            return net::ProbeResult{
+                network.probe_first_flow(link, state.earliest_start),
+                network.probe_finish(link, state.earliest_start,
+                                     state.min_finish, edge.cost)};
+          };
+          route = net::dijkstra_route_probe(topology, src.processor,
+                                            chosen, ship_time, probe);
+        } else {
+          route = bfs_routes.route(src.processor, chosen);
+        }
+        BandwidthNetworkState::Transfer transfer =
+            network.commit_edge(route, ship_time, edge.cost);
+        comm.kind = EdgeCommunication::Kind::kBandwidth;
+        comm.route = std::move(route);
+        comm.profiles = std::move(transfer.profiles);
+        comm.arrival = transfer.arrival;
+      }
+      data_ready = std::max(data_ready, comm.arrival);
+      out.set_communication(e, std::move(comm));
+    }
+
+    const double duration = weight / topology.processor_speed(chosen);
+    const double start =
+        machines.start_for(chosen, data_ready, duration,
+                           options_.task_insertion);
+    machines.commit(chosen, task, start, duration);
+    out.place_task(task, TaskPlacement{chosen, start, start + duration});
+  }
+  return out;
+}
+
+}  // namespace edgesched::sched

@@ -1,0 +1,133 @@
+#include "sched/genetic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "sched/ba.hpp"
+#include "sched/oihsa.hpp"
+#include "util/rng.hpp"
+
+namespace edgesched::sched {
+
+namespace {
+
+struct Individual {
+  Assignment genes;
+  double fitness = std::numeric_limits<double>::infinity();
+};
+
+Assignment random_assignment(const dag::TaskGraph& graph,
+                             const net::Topology& topology, Rng& rng) {
+  const auto& processors = topology.processors();
+  Assignment assignment(graph.num_tasks());
+  for (auto& gene : assignment) {
+    gene = processors[rng.index(processors.size())];
+  }
+  return assignment;
+}
+
+}  // namespace
+
+GeneticScheduler::GeneticScheduler(const Options& options)
+    : options_(options) {
+  throw_if(options.population < 4,
+           "GeneticScheduler: population must be at least 4");
+  throw_if(options.tournament == 0 ||
+               options.tournament > options.population,
+           "GeneticScheduler: bad tournament size");
+  throw_if(options.mutation_rate < 0.0 || options.mutation_rate > 1.0,
+           "GeneticScheduler: mutation_rate outside [0, 1]");
+  throw_if(options.replacement_fraction <= 0.0 ||
+               options.replacement_fraction > 1.0,
+           "GeneticScheduler: replacement_fraction outside (0, 1]");
+}
+
+Schedule GeneticScheduler::schedule(const dag::TaskGraph& graph,
+                                    const net::Topology& topology) const {
+  check_inputs(graph, topology);
+  Rng rng(options_.seed);
+  const auto& processors = topology.processors();
+
+  const auto evaluate = [&](const Assignment& genes) {
+    return assignment_makespan(graph, topology, genes,
+                               options_.evaluation);
+  };
+
+  // Population: the two list-scheduler assignments seed the search, the
+  // rest are random immigrants.
+  std::vector<Individual> population;
+  population.reserve(options_.population);
+  population.push_back(Individual{
+      assignment_of(graph, Oihsa{}.schedule(graph, topology)), 0.0});
+  population.push_back(Individual{
+      assignment_of(graph, BasicAlgorithm{}.schedule(graph, topology)),
+      0.0});
+  while (population.size() < options_.population) {
+    population.push_back(
+        Individual{random_assignment(graph, topology, rng), 0.0});
+  }
+  for (Individual& ind : population) {
+    ind.fitness = evaluate(ind.genes);
+  }
+
+  const auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (std::size_t i = 0; i < options_.tournament; ++i) {
+      const Individual& candidate =
+          population[rng.index(population.size())];
+      if (best == nullptr || candidate.fitness < best->fitness) {
+        best = &candidate;
+      }
+    }
+    return *best;
+  };
+
+  const std::size_t offspring_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.replacement_fraction *
+                                  static_cast<double>(
+                                      options_.population)));
+
+  for (std::size_t gen = 0; gen < options_.generations; ++gen) {
+    std::vector<Individual> offspring;
+    offspring.reserve(offspring_count);
+    for (std::size_t k = 0; k < offspring_count; ++k) {
+      const Individual& mother = tournament_pick();
+      const Individual& father = tournament_pick();
+      // Uniform crossover + per-gene mutation.
+      Individual child;
+      child.genes.resize(graph.num_tasks());
+      for (std::size_t g = 0; g < child.genes.size(); ++g) {
+        child.genes[g] =
+            rng.bernoulli(0.5) ? mother.genes[g] : father.genes[g];
+        if (rng.bernoulli(options_.mutation_rate)) {
+          child.genes[g] = processors[rng.index(processors.size())];
+        }
+      }
+      child.fitness = evaluate(child.genes);
+      offspring.push_back(std::move(child));
+    }
+    // Steady state: offspring replace the worst individuals.
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness < b.fitness;
+              });
+    for (std::size_t k = 0; k < offspring.size(); ++k) {
+      Individual& slot = population[population.size() - 1 - k];
+      if (offspring[k].fitness < slot.fitness) {
+        slot = std::move(offspring[k]);
+      }
+    }
+  }
+
+  const Individual& best = *std::min_element(
+      population.begin(), population.end(),
+      [](const Individual& a, const Individual& b) {
+        return a.fitness < b.fitness;
+      });
+  AssignmentOptions labelled = options_.evaluation;
+  labelled.label = name();
+  return schedule_assignment(graph, topology, best.genes, labelled);
+}
+
+}  // namespace edgesched::sched

@@ -1,0 +1,59 @@
+#include "sched/lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "dag/properties.hpp"
+
+namespace edgesched::sched {
+
+namespace {
+
+double fastest_speed(const net::Topology& topology) {
+  double fastest = 0.0;
+  for (net::NodeId p : topology.processors()) {
+    fastest = std::max(fastest, topology.processor_speed(p));
+  }
+  throw_if(fastest <= 0.0, "lower bounds: topology has no processors");
+  return fastest;
+}
+
+}  // namespace
+
+double critical_path_bound(const dag::TaskGraph& graph,
+                           const net::Topology& topology) {
+  if (graph.empty()) {
+    return 0.0;
+  }
+  const std::vector<double> bl =
+      dag::bottom_levels_computation_only(graph);
+  return *std::max_element(bl.begin(), bl.end()) /
+         fastest_speed(topology);
+}
+
+double work_bound(const dag::TaskGraph& graph,
+                  const net::Topology& topology) {
+  double capacity = 0.0;
+  for (net::NodeId p : topology.processors()) {
+    capacity += topology.processor_speed(p);
+  }
+  throw_if(capacity <= 0.0, "lower bounds: topology has no processors");
+  return graph.total_computation() / capacity;
+}
+
+double max_task_bound(const dag::TaskGraph& graph,
+                      const net::Topology& topology) {
+  double heaviest = 0.0;
+  for (dag::TaskId t : graph.all_tasks()) {
+    heaviest = std::max(heaviest, graph.weight(t));
+  }
+  return heaviest / fastest_speed(topology);
+}
+
+double makespan_lower_bound(const dag::TaskGraph& graph,
+                            const net::Topology& topology) {
+  return std::max({critical_path_bound(graph, topology),
+                   work_bound(graph, topology),
+                   max_task_bound(graph, topology)});
+}
+
+}  // namespace edgesched::sched

@@ -1,0 +1,32 @@
+// Makespan lower bounds.
+//
+// Schedulers are heuristics; these bounds are the yardsticks the tests and
+// metrics measure them against. All bounds are valid for every scheduling
+// model in this library (contention-aware or not), because they ignore
+// communication entirely — communication can only delay a schedule.
+#pragma once
+
+#include "dag/task_graph.hpp"
+#include "net/topology.hpp"
+
+namespace edgesched::sched {
+
+/// Longest computation-only path executed at the fastest processor speed:
+/// no schedule can finish a dependence chain faster.
+[[nodiscard]] double critical_path_bound(const dag::TaskGraph& graph,
+                                         const net::Topology& topology);
+
+/// Total computation divided by the aggregate processing capacity: even a
+/// perfectly balanced machine needs this long.
+[[nodiscard]] double work_bound(const dag::TaskGraph& graph,
+                                const net::Topology& topology);
+
+/// The heaviest single task on the fastest processor.
+[[nodiscard]] double max_task_bound(const dag::TaskGraph& graph,
+                                    const net::Topology& topology);
+
+/// max of all bounds above.
+[[nodiscard]] double makespan_lower_bound(const dag::TaskGraph& graph,
+                                          const net::Topology& topology);
+
+}  // namespace edgesched::sched

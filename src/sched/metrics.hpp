@@ -1,0 +1,56 @@
+// Schedule quality metrics and load reports.
+//
+// Everything a paper-style evaluation (or a user deciding between
+// algorithms) wants to know about one schedule: normalised length (SLR),
+// speedup/efficiency, processor and link utilisation, communication
+// locality, and per-contention-domain load for spotting hot links.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "net/topology.hpp"
+#include "sched/schedule.hpp"
+
+namespace edgesched::sched {
+
+struct ScheduleMetrics {
+  double makespan = 0.0;
+  /// makespan / critical-path bound: 1.0 is unbeatable.
+  double slr = 0.0;
+  /// serial time on the fastest processor / makespan.
+  double speedup = 0.0;
+  /// speedup / number of processors.
+  double efficiency = 0.0;
+  /// mean fraction of [0, makespan] each processor computes.
+  double processor_utilisation = 0.0;
+  /// total busy link time across contention domains.
+  double network_busy_time = 0.0;
+  /// network_busy_time / (num_domains · makespan).
+  double link_utilisation = 0.0;
+  std::size_t local_edges = 0;
+  std::size_t remote_edges = 0;
+  /// mean hops of remote edges (0 when none).
+  double mean_route_length = 0.0;
+  /// mean (arrival − source finish) of remote edges (0 when none).
+  double mean_communication_delay = 0.0;
+};
+
+/// Computes all metrics for a schedule. The schedule should be valid;
+/// metrics of invalid schedules are not meaningful.
+[[nodiscard]] ScheduleMetrics compute_metrics(const dag::TaskGraph& graph,
+                                              const net::Topology& topology,
+                                              const Schedule& schedule);
+
+/// Busy time per contention domain (index = DomainId), for hot-link
+/// reports.
+[[nodiscard]] std::vector<double> domain_busy_times(
+    const dag::TaskGraph& graph, const net::Topology& topology,
+    const Schedule& schedule);
+
+/// One line per metric, for logs and examples.
+[[nodiscard]] std::string to_string(const ScheduleMetrics& metrics);
+
+}  // namespace edgesched::sched

@@ -1,0 +1,284 @@
+#include "sched/network_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgesched::sched {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+/// Relative time tolerance for matching recorded occupations to slots.
+double match_eps(double t) { return 1e-9 * std::max(1.0, std::abs(t)); }
+}  // namespace
+
+ExclusiveNetworkState::ExclusiveNetworkState(const net::Topology& topology,
+                                             std::size_t num_edges,
+                                             double hop_delay)
+    : topology_(&topology),
+      domains_(topology.num_domains()),
+      records_(num_edges),
+      hop_delay_(hop_delay) {
+  throw_if(hop_delay < 0.0,
+           "ExclusiveNetworkState: hop delay must be >= 0");
+}
+
+timeline::Placement ExclusiveNetworkState::probe_link(net::LinkId link,
+                                                      double t_es_in,
+                                                      double t_f_min,
+                                                      double cost) const {
+  const double duration = cost / topology_->link_speed(link);
+  return domains_[topology_->domain(link).index()].probe_basic(
+      t_es_in, t_f_min, duration);
+}
+
+double ExclusiveNetworkState::commit_edge_basic(dag::EdgeId edge,
+                                                const net::Route& route,
+                                                double ready, double cost) {
+  EDGESCHED_ASSERT_MSG(!route.empty(), "cannot commit an edge on an empty "
+                                       "route");
+  EDGESCHED_ASSERT_MSG(!records_[edge.index()].scheduled(),
+                       "edge committed twice");
+  EdgeRecord record;
+  record.route = route;
+  record.occupations.reserve(route.size());
+  double t_es_in = ready;
+  double t_f_min = 0.0;
+  for (net::LinkId link : route) {
+    const double duration = cost / topology_->link_speed(link);
+    timeline::LinkTimeline& tl =
+        domains_[topology_->domain(link).index()];
+    const timeline::Placement placement =
+        tl.probe_basic(t_es_in, t_f_min, duration);
+    tl.commit(placement, edge);
+    record.occupations.push_back(LinkOccupation{
+        link, placement.earliest_start, placement.start, placement.finish});
+    // Cut-through: the next hop sees the flow start (and finish) one
+    // station delay later.
+    t_es_in = placement.start + hop_delay_;
+    t_f_min = placement.finish + hop_delay_;
+  }
+  records_[edge.index()] = std::move(record);
+  return t_f_min - hop_delay_;
+}
+
+double ExclusiveNetworkState::commit_edge_optimal(dag::EdgeId edge,
+                                                  const net::Route& route,
+                                                  double ready,
+                                                  double cost) {
+  EDGESCHED_ASSERT_MSG(!route.empty(), "cannot commit an edge on an empty "
+                                       "route");
+  EDGESCHED_ASSERT_MSG(!records_[edge.index()].scheduled(),
+                       "edge committed twice");
+  EdgeRecord record;
+  record.route = route;
+  record.occupations.reserve(route.size());
+  double t_es_in = ready;
+  double t_f_min = 0.0;
+  for (net::LinkId link : route) {
+    const net::DomainId domain = topology_->domain(link);
+    const double duration = cost / topology_->link_speed(link);
+    timeline::LinkTimeline& tl = domains_[domain.index()];
+    const auto deferral = [this, domain](const timeline::TimeSlot& slot) {
+      return deferral_for(domain, slot);
+    };
+    const timeline::OptimalPlacement optimal =
+        timeline::probe_optimal(tl, t_es_in, t_f_min, duration, deferral);
+
+    // Displaced occupants: update their records while the pre-shift slot
+    // times are still visible for matching.
+    for (const timeline::SlotShift& shift : optimal.shifts) {
+      const timeline::TimeSlot& old_slot = tl.slots()[shift.position];
+      EdgeRecord& displaced = records_[shift.edge.index()];
+      bool matched = false;
+      for (std::size_t i = 0; i < displaced.occupations.size(); ++i) {
+        LinkOccupation& occ = displaced.occupations[i];
+        if (topology_->domain(displaced.route[i]) == domain &&
+            std::abs(occ.start - old_slot.start) <= match_eps(occ.start) &&
+            std::abs(occ.finish - old_slot.finish) <=
+                match_eps(occ.finish)) {
+          occ.earliest_start = shift.new_earliest_start;
+          occ.start = shift.new_start;
+          occ.finish = shift.new_finish;
+          matched = true;
+          break;
+        }
+      }
+      EDGESCHED_ASSERT_MSG(matched,
+                           "displaced slot has no matching edge record");
+    }
+    timeline::commit_optimal(tl, optimal, edge);
+
+    record.occupations.push_back(LinkOccupation{
+        link, optimal.placement.earliest_start, optimal.placement.start,
+        optimal.placement.finish});
+    t_es_in = optimal.placement.start + hop_delay_;
+    t_f_min = optimal.placement.finish + hop_delay_;
+  }
+  records_[edge.index()] = std::move(record);
+  return t_f_min - hop_delay_;
+}
+
+double ExclusiveNetworkState::commit_packet(dag::EdgeId edge,
+                                            const net::Route& route,
+                                            double ready, double volume) {
+  EDGESCHED_ASSERT_MSG(!route.empty(),
+                       "cannot commit a packet on an empty route");
+  EdgeRecord& record = records_[edge.index()];
+  double arrival = ready;
+  for (net::LinkId link : route) {
+    const double duration = volume / topology_->link_speed(link);
+    timeline::LinkTimeline& tl =
+        domains_[topology_->domain(link).index()];
+    // Store-and-forward: the packet is available at this hop only once it
+    // fully crossed the previous one, so t_es = previous finish and there
+    // is no cross-hop minimum-finish coupling.
+    const timeline::Placement placement =
+        tl.probe_basic(arrival, 0.0, duration);
+    tl.commit(placement, edge);
+    record.route.push_back(link);
+    record.occupations.push_back(LinkOccupation{
+        link, placement.earliest_start, placement.start, placement.finish});
+    arrival = placement.finish + hop_delay_;
+  }
+  return arrival - hop_delay_;
+}
+
+void ExclusiveNetworkState::uncommit_edge(dag::EdgeId edge) {
+  EdgeRecord& record = records_[edge.index()];
+  EDGESCHED_ASSERT_MSG(record.scheduled(), "uncommit of unscheduled edge");
+  for (std::size_t i = 0; i < record.occupations.size(); ++i) {
+    const LinkOccupation& occ = record.occupations[i];
+    timeline::LinkTimeline& tl =
+        domains_[topology_->domain(record.route[i]).index()];
+    bool erased = false;
+    const std::vector<timeline::TimeSlot>& slots = tl.slots();
+    for (std::size_t j = 0; j < slots.size(); ++j) {
+      if (slots[j].edge == edge &&
+          std::abs(slots[j].start - occ.start) <= match_eps(occ.start) &&
+          std::abs(slots[j].finish - occ.finish) <=
+              match_eps(occ.finish)) {
+        tl.erase(j);
+        erased = true;
+        break;
+      }
+    }
+    EDGESCHED_ASSERT_MSG(erased, "uncommit could not find the slot");
+  }
+  record = EdgeRecord{};
+}
+
+double ExclusiveNetworkState::deferral_for(
+    net::DomainId domain, const timeline::TimeSlot& slot) const {
+  const EdgeRecord& record = records_[slot.edge.index()];
+  EDGESCHED_ASSERT_MSG(record.scheduled(),
+                       "occupied slot references an unscheduled edge");
+  for (std::size_t i = 0; i < record.occupations.size(); ++i) {
+    const LinkOccupation& occ = record.occupations[i];
+    if (topology_->domain(record.route[i]) == domain &&
+        std::abs(occ.start - slot.start) <= match_eps(occ.start) &&
+        std::abs(occ.finish - slot.finish) <= match_eps(occ.finish)) {
+      if (i + 1 == record.occupations.size()) {
+        return 0.0;  // last hop: the destination task depends on t_f here
+      }
+      const LinkOccupation& next = record.occupations[i + 1];
+      return std::max(
+          0.0, std::min(next.earliest_start - occ.earliest_start,
+                        next.finish - occ.finish));
+    }
+  }
+  EDGESCHED_ASSERT_MSG(false, "slot has no matching occupation record");
+  return 0.0;
+}
+
+double ExclusiveNetworkState::total_busy_time() const noexcept {
+  double busy = 0.0;
+  for (const timeline::LinkTimeline& tl : domains_) {
+    busy += tl.busy_time();
+  }
+  return busy;
+}
+
+BandwidthNetworkState::BandwidthNetworkState(const net::Topology& topology,
+                                             double hop_delay)
+    : topology_(&topology), hop_delay_(hop_delay) {
+  throw_if(hop_delay < 0.0,
+           "BandwidthNetworkState: hop delay must be >= 0");
+  domains_.reserve(topology.num_domains());
+  // Domain capacity is its links' speed; builders give all links of a
+  // shared domain one speed, which we re-derive (and check) here.
+  std::vector<double> capacity(topology.num_domains(), -1.0);
+  for (net::LinkId l : topology.all_links()) {
+    double& slot = capacity[topology.domain(l).index()];
+    const double speed = topology.link_speed(l);
+    EDGESCHED_ASSERT_MSG(slot < 0.0 || std::abs(slot - speed) <= kEps,
+                         "links of one contention domain disagree on speed");
+    slot = speed;
+  }
+  for (double c : capacity) {
+    domains_.emplace_back(c > 0.0 ? c : 1.0);
+  }
+}
+
+double BandwidthNetworkState::probe_finish(net::LinkId link, double t_es_in,
+                                           double t_f_min,
+                                           double cost) const {
+  const timeline::BandwidthTimeline& tl =
+      domains_[topology_->domain(link).index()];
+  return std::max(tl.earliest_finish(t_es_in, cost), t_f_min);
+}
+
+double BandwidthNetworkState::probe_first_flow(net::LinkId link,
+                                               double t) const {
+  return domains_[topology_->domain(link).index()].first_available(t);
+}
+
+BandwidthNetworkState::Transfer BandwidthNetworkState::commit_edge(
+    const net::Route& route, double ready, double cost) {
+  EDGESCHED_ASSERT_MSG(!route.empty(), "cannot commit an edge on an empty "
+                                       "route");
+  Transfer transfer;
+  transfer.profiles.reserve(route.size());
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    timeline::BandwidthTimeline& tl =
+        domains_[topology_->domain(route[i]).index()];
+    timeline::RateProfile profile =
+        (i == 0) ? tl.transfer_from(ready, cost)
+                 : tl.forward(hop_delay_ > 0.0
+                                  ? transfer.profiles.back().shifted(
+                                        hop_delay_)
+                                  : transfer.profiles.back());
+    tl.consume(profile);
+    transfer.profiles.push_back(std::move(profile));
+  }
+  transfer.arrival = transfer.profiles.back().finish_time();
+  return transfer;
+}
+
+MachineState::MachineState(const net::Topology& topology)
+    : timelines_(topology.num_nodes()) {}
+
+double MachineState::append_start(net::NodeId processor,
+                                  double ready) const {
+  EDGESCHED_ASSERT(processor.index() < timelines_.size());
+  return std::max(ready, timelines_[processor.index()].last_finish());
+}
+
+double MachineState::earliest_start(net::NodeId processor, double ready,
+                                    double duration) const {
+  EDGESCHED_ASSERT(processor.index() < timelines_.size());
+  return timelines_[processor.index()].earliest_start(ready, duration);
+}
+
+void MachineState::commit(net::NodeId processor, dag::TaskId task,
+                          double start, double duration) {
+  EDGESCHED_ASSERT(processor.index() < timelines_.size());
+  timelines_[processor.index()].commit(task, start, duration);
+}
+
+double MachineState::finish_time(net::NodeId processor) const {
+  EDGESCHED_ASSERT(processor.index() < timelines_.size());
+  return timelines_[processor.index()].last_finish();
+}
+
+}  // namespace edgesched::sched

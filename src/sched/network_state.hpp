@@ -1,0 +1,170 @@
+// Mutable scheduling state over a network topology.
+//
+// `ExclusiveNetworkState` holds one exclusive `LinkTimeline` per
+// contention domain plus, for every committed DAG edge, its route and
+// per-link occupations — the information OIHSA's deferral slack (Lemma 2)
+// is computed from. `BandwidthNetworkState` is the BBSA counterpart with
+// one `BandwidthTimeline` per domain. `MachineState` tracks the processor
+// timelines. All three are value types: the Basic Algorithm's tentative
+// per-processor evaluation copies the state, schedules into the copy and
+// keeps the best.
+#pragma once
+
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "net/topology.hpp"
+#include "sched/schedule.hpp"
+#include "timeline/bandwidth_timeline.hpp"
+#include "timeline/link_timeline.hpp"
+#include "timeline/optimal_insertion.hpp"
+#include "timeline/processor_timeline.hpp"
+
+namespace edgesched::sched {
+
+/// Route and committed per-link occupations of one scheduled edge.
+struct EdgeRecord {
+  net::Route route;
+  std::vector<LinkOccupation> occupations;
+  [[nodiscard]] bool scheduled() const noexcept { return !route.empty(); }
+};
+
+class ExclusiveNetworkState {
+ public:
+  /// `hop_delay` is the per-station forwarding latency the paper's §2.2
+  /// neglects by default ("it can be included if necessary"): each
+  /// additional hop of a route sees the data `hop_delay` later.
+  ExclusiveNetworkState(const net::Topology& topology,
+                        std::size_t num_edges, double hop_delay = 0.0);
+
+  [[nodiscard]] const net::Topology& topology() const noexcept {
+    return *topology_;
+  }
+
+  [[nodiscard]] const timeline::LinkTimeline& timeline(
+      net::LinkId link) const {
+    return domains_[topology_->domain(link).index()];
+  }
+  [[nodiscard]] const timeline::LinkTimeline& domain_timeline(
+      net::DomainId domain) const {
+    return domains_[domain.index()];
+  }
+
+  /// Basic-insertion probe of one link without committing — the modified
+  /// routing algorithm's relaxation step (§4.3).
+  [[nodiscard]] timeline::Placement probe_link(net::LinkId link,
+                                               double t_es_in,
+                                               double t_f_min,
+                                               double cost) const;
+
+  /// Schedules the edge along `route` with first-fit insertion on every
+  /// hop (Basic Algorithm, §3). Returns the arrival time at the route's
+  /// final node. `ready` is the source task's finish time.
+  double commit_edge_basic(dag::EdgeId edge, const net::Route& route,
+                           double ready, double cost);
+
+  /// Schedules the edge along `route` with optimal insertion (§4.4):
+  /// already-booked slots may be deferred within their causality slack,
+  /// and displaced edges' records are updated. Returns the arrival time.
+  double commit_edge_optimal(dag::EdgeId edge, const net::Route& route,
+                             double ready, double cost);
+
+  /// Record of a committed edge; unscheduled edges return an empty record.
+  [[nodiscard]] const EdgeRecord& record(dag::EdgeId edge) const {
+    EDGESCHED_ASSERT(edge.index() < records_.size());
+    return records_[edge.index()];
+  }
+
+  /// Removes a committed edge's slots and record. Only safe after
+  /// `commit_edge_basic` (optimal insertion may have displaced other
+  /// edges, which erasing cannot undo). This is the cheap rollback the
+  /// Basic Algorithm's tentative per-processor evaluation relies on.
+  void uncommit_edge(dag::EdgeId edge);
+
+  /// Books one store-and-forward packet of `edge` along `route`: each hop
+  /// may begin only after the packet fully crossed the previous hop.
+  /// Appends the occupations to the edge's record (an edge may own many
+  /// packets); returns the packet's arrival time at the route's end.
+  double commit_packet(dag::EdgeId edge, const net::Route& route,
+                       double ready, double volume);
+
+  /// Total busy time over all domains (network load statistic).
+  [[nodiscard]] double total_busy_time() const noexcept;
+
+ private:
+  /// Longest deferrable time of an occupied slot living in `domain`
+  /// (Lemma 2); 0 on the occupant's last hop.
+  [[nodiscard]] double deferral_for(net::DomainId domain,
+                                    const timeline::TimeSlot& slot) const;
+
+  const net::Topology* topology_;
+  std::vector<timeline::LinkTimeline> domains_;  ///< by DomainId
+  std::vector<EdgeRecord> records_;              ///< by EdgeId
+  double hop_delay_ = 0.0;
+};
+
+class BandwidthNetworkState {
+ public:
+  explicit BandwidthNetworkState(const net::Topology& topology,
+                                 double hop_delay = 0.0);
+
+  [[nodiscard]] const net::Topology& topology() const noexcept {
+    return *topology_;
+  }
+
+  [[nodiscard]] const timeline::BandwidthTimeline& timeline(
+      net::LinkId link) const {
+    return domains_[topology_->domain(link).index()];
+  }
+
+  /// Routing probe: earliest finish of `cost` volume on this link using
+  /// all remaining bandwidth from `t_es_in` (§5, applied to §4.3 routing).
+  [[nodiscard]] double probe_finish(net::LinkId link, double t_es_in,
+                                    double t_f_min, double cost) const;
+  /// First moment any bandwidth is available at or after `t`.
+  [[nodiscard]] double probe_first_flow(net::LinkId link, double t) const;
+
+  /// Schedules the edge along `route`: full remaining bandwidth on the
+  /// first hop from `ready`, fluid forwarding on subsequent hops, all
+  /// profiles committed. Returns (arrival, per-hop profiles).
+  struct Transfer {
+    double arrival = 0.0;
+    std::vector<timeline::RateProfile> profiles;
+  };
+  Transfer commit_edge(const net::Route& route, double ready, double cost);
+
+ private:
+  const net::Topology* topology_;
+  std::vector<timeline::BandwidthTimeline> domains_;  ///< by DomainId
+  double hop_delay_ = 0.0;
+};
+
+/// Processor timelines, one per topology node (switch entries stay empty).
+class MachineState {
+ public:
+  explicit MachineState(const net::Topology& topology);
+
+  /// The paper's task start (§2.1): t_s(n, P) = max(t_dr, t_f(P)) — tasks
+  /// append after the processor's last finish, no insertion.
+  [[nodiscard]] double append_start(net::NodeId processor,
+                                    double ready) const;
+  /// Insertion-policy earliest start (ablation alternative to the paper's
+  /// append rule).
+  [[nodiscard]] double earliest_start(net::NodeId processor, double ready,
+                                      double duration) const;
+  /// Start under the selected policy.
+  [[nodiscard]] double start_for(net::NodeId processor, double ready,
+                                 double duration, bool insertion) const {
+    return insertion ? earliest_start(processor, ready, duration)
+                     : append_start(processor, ready);
+  }
+  void commit(net::NodeId processor, dag::TaskId task, double start,
+              double duration);
+  /// t_f(P): current finish time of the processor.
+  [[nodiscard]] double finish_time(net::NodeId processor) const;
+
+ private:
+  std::vector<timeline::ProcessorTimeline> timelines_;  ///< by node index
+};
+
+}  // namespace edgesched::sched

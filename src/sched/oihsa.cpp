@@ -1,0 +1,138 @@
+#include "sched/oihsa.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "net/routing.hpp"
+#include "sched/network_state.hpp"
+
+namespace edgesched::sched {
+
+Schedule Oihsa::schedule(const dag::TaskGraph& graph,
+                         const net::Topology& topology) const {
+  check_inputs(graph, topology);
+  Schedule out(name(), graph.num_tasks(), graph.num_edges());
+
+  const std::vector<dag::TaskId> order =
+      list_order(graph, options_.priority);
+  ExclusiveNetworkState network(topology, graph.num_edges(),
+                                options_.hop_delay);
+  MachineState machines(topology);
+  net::RouteCache bfs_routes(topology);
+  const double mls = topology.mean_link_speed();
+
+  for (dag::TaskId task : order) {
+    const double weight = graph.weight(task);
+
+    // Dynamic model (§4.1): communications leave when the task is ready.
+    double ready_moment = 0.0;
+    for (dag::EdgeId e : graph.in_edges(task)) {
+      ready_moment =
+          std::max(ready_moment, out.task(graph.edge(e).src).finish);
+    }
+
+    // Processor choice (§4.1): minimise the static-style finish estimate
+    //   max(max_j(t_f(n_j) + c(e_ji)/MLS), t_f(P)) + w(n_i)/s(P),
+    // where same-processor communication is free.
+    net::NodeId chosen;
+    double chosen_estimate = std::numeric_limits<double>::infinity();
+    for (net::NodeId processor : topology.processors()) {
+      double ready_estimate = 0.0;
+      for (dag::EdgeId e : graph.in_edges(task)) {
+        const dag::Edge& edge = graph.edge(e);
+        const TaskPlacement& src = out.task(edge.src);
+        double via = src.finish;
+        if (src.processor != processor && mls > 0.0) {
+          via += edge.cost / mls;
+        }
+        ready_estimate = std::max(ready_estimate, via);
+      }
+      const double duration_on_p =
+          weight / topology.processor_speed(processor);
+      const double availability =
+          options_.insertion_aware_estimate
+              ? machines.start_for(processor, ready_estimate,
+                                   duration_on_p,
+                                   options_.task_insertion)
+              : std::max(ready_estimate,
+                         machines.finish_time(processor));
+      const double estimate = availability + duration_on_p;
+      if (estimate < chosen_estimate) {
+        chosen_estimate = estimate;
+        chosen = processor;
+      }
+    }
+
+    // Edge priority (§4.2): the costliest incoming edge books first.
+    std::vector<dag::EdgeId> in = graph.in_edges(task);
+    if (options_.edge_priority_by_cost) {
+      std::stable_sort(in.begin(), in.end(),
+                       [&](dag::EdgeId a, dag::EdgeId b) {
+                         return graph.cost(a) > graph.cost(b);
+                       });
+    }
+
+    double data_ready = ready_moment;
+    for (dag::EdgeId e : in) {
+      const dag::Edge& edge = graph.edge(e);
+      const TaskPlacement& src = out.task(edge.src);
+      EdgeCommunication comm;
+      comm.arrival = src.finish;
+      if (src.processor == chosen || edge.cost <= 0.0) {
+        comm.kind = EdgeCommunication::Kind::kLocal;
+      } else {
+        const double ship_time =
+            options_.eager_communication ? src.finish : ready_moment;
+        // Modified routing (§4.3): relax on the tentative per-link finish
+        // time given the current timelines.
+        net::Route route;
+        if (options_.modified_routing) {
+          const auto probe = [&](net::LinkId link,
+                                 const net::ProbeState& state) {
+            const timeline::Placement placement = network.probe_link(
+                link, state.earliest_start, state.min_finish, edge.cost);
+            return net::ProbeResult{placement.start, placement.finish};
+          };
+          route = net::dijkstra_route_probe(topology, src.processor,
+                                            chosen, ship_time, probe);
+        } else {
+          route = bfs_routes.route(src.processor, chosen);
+        }
+        comm.arrival =
+            options_.optimal_insertion
+                ? network.commit_edge_optimal(e, route, ship_time,
+                                              edge.cost)
+                : network.commit_edge_basic(e, route, ship_time,
+                                            edge.cost);
+        comm.kind = EdgeCommunication::Kind::kExclusive;
+        comm.route = std::move(route);
+      }
+      data_ready = std::max(data_ready, comm.arrival);
+      out.set_communication(e, std::move(comm));
+    }
+
+    const double duration = weight / topology.processor_speed(chosen);
+    const double start =
+        machines.start_for(chosen, data_ready, duration,
+                           options_.task_insertion);
+    machines.commit(chosen, task, start, duration);
+    out.place_task(task, TaskPlacement{chosen, start, start + duration});
+  }
+
+  // Deferral may have moved earlier edges' occupations after their
+  // communications were recorded; refresh from the final records.
+  for (dag::EdgeId e : graph.all_edges()) {
+    const EdgeRecord& record = network.record(e);
+    if (record.scheduled()) {
+      EdgeCommunication comm;
+      comm.kind = EdgeCommunication::Kind::kExclusive;
+      comm.route = record.route;
+      comm.occupations = record.occupations;
+      comm.arrival = record.occupations.back().finish;
+      out.set_communication(e, std::move(comm));
+    }
+  }
+  return out;
+}
+
+}  // namespace edgesched::sched

@@ -1,0 +1,50 @@
+// Packetized Basic Algorithm — the extension §2.2 points out BA lacks.
+//
+// The paper assumes circuit switching because "BA does not consider the
+// possible division of communication into packets". This scheduler drops
+// that assumption: every cross-processor message is split into
+// equal-volume packets, each store-and-forward routed over the minimal
+// BFS path with first-fit insertion per hop. Small packets pipeline across
+// multi-hop routes (hop h of packet p overlaps hop h+1 of packet p-1) at
+// the cost of per-packet scheduling work — the classic circuit-vs-packet
+// trade-off, measured by bench/ablation_packet.
+#pragma once
+
+#include "sched/priorities.hpp"
+#include "sched/scheduler.hpp"
+
+namespace edgesched::sched {
+
+class PacketizedBa final : public Scheduler {
+ public:
+  struct Options {
+    PriorityScheme priority = PriorityScheme::kBottomLevel;
+    /// Target volume per packet; a message of cost c becomes
+    /// ceil(c / packet_size) equal-volume packets.
+    double packet_size = 250.0;
+    /// Paper semantics (§4.1): edges ship at the task's ready moment.
+    bool eager_communication = false;
+    /// Insertion placement on processors (see ba.hpp).
+    bool task_insertion = true;
+    /// Per-station forwarding latency (§2.2 neglects it; "it can be
+    /// included if necessary"). Each extra hop of a route sees the data
+    /// this much later.
+    double hop_delay = 0.0;
+  };
+
+  PacketizedBa() = default;
+  explicit PacketizedBa(const Options& options) : options_(options) {
+    throw_if(options.packet_size <= 0.0,
+             "PacketizedBa: packet_size must be positive");
+  }
+
+  [[nodiscard]] Schedule schedule(
+      const dag::TaskGraph& graph,
+      const net::Topology& topology) const override;
+  [[nodiscard]] std::string name() const override { return "PACKET-BA"; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace edgesched::sched

@@ -1,0 +1,73 @@
+#include "sched/priorities.hpp"
+
+#include <queue>
+
+#include "dag/properties.hpp"
+
+namespace edgesched::sched {
+
+std::vector<double> priorities(const dag::TaskGraph& graph,
+                               PriorityScheme scheme) {
+  switch (scheme) {
+    case PriorityScheme::kBottomLevel:
+      return dag::bottom_levels(graph);
+    case PriorityScheme::kBottomLevelComputationOnly:
+      return dag::bottom_levels_computation_only(graph);
+    case PriorityScheme::kTopLevelPlusBottomLevel: {
+      std::vector<double> result = dag::bottom_levels(graph);
+      const std::vector<double> tl = dag::top_levels(graph);
+      for (std::size_t i = 0; i < result.size(); ++i) {
+        result[i] += tl[i];
+      }
+      return result;
+    }
+  }
+  throw std::invalid_argument("priorities: unknown scheme");
+}
+
+std::vector<dag::TaskId> list_order(const dag::TaskGraph& graph,
+                                    const std::vector<double>& priority) {
+  throw_if(priority.size() != graph.num_tasks(),
+           "list_order: priority vector size mismatch");
+  struct Entry {
+    double priority;
+    dag::TaskId task;
+    bool operator<(const Entry& other) const {
+      if (priority != other.priority) {
+        return priority < other.priority;  // max-heap on priority
+      }
+      return task > other.task;  // then min task id
+    }
+  };
+  std::priority_queue<Entry> ready;
+  std::vector<std::size_t> indegree(graph.num_tasks());
+  for (dag::TaskId t : graph.all_tasks()) {
+    indegree[t.index()] = graph.in_edges(t).size();
+    if (indegree[t.index()] == 0) {
+      ready.push(Entry{priority[t.index()], t});
+    }
+  }
+  std::vector<dag::TaskId> order;
+  order.reserve(graph.num_tasks());
+  while (!ready.empty()) {
+    const dag::TaskId task = ready.top().task;
+    ready.pop();
+    order.push_back(task);
+    for (dag::EdgeId e : graph.out_edges(task)) {
+      const dag::TaskId next = graph.edge(e).dst;
+      if (--indegree[next.index()] == 0) {
+        ready.push(Entry{priority[next.index()], next});
+      }
+    }
+  }
+  throw_if(order.size() != graph.num_tasks(),
+           "list_order: graph contains a cycle");
+  return order;
+}
+
+std::vector<dag::TaskId> list_order(const dag::TaskGraph& graph,
+                                    PriorityScheme scheme) {
+  return list_order(graph, priorities(graph, scheme));
+}
+
+}  // namespace edgesched::sched

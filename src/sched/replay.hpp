@@ -1,0 +1,21 @@
+// Contention replay: what a contention-free schedule really costs.
+//
+// Takes a schedule produced under the idealised model, keeps its
+// task-to-processor assignment and task order, and re-executes it on the
+// real network — BFS minimal routes, first-fit edge insertion, exclusive
+// links. Start times stretch to actual data arrivals; the resulting
+// makespan is what the classic schedule would achieve on the contended
+// machine. Used by the contention ablation bench.
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace edgesched::sched {
+
+/// Re-executes `ideal` (task placement + order) under link contention.
+/// The returned schedule is valid under the full validator.
+[[nodiscard]] Schedule replay_under_contention(const dag::TaskGraph& graph,
+                                               const net::Topology& topology,
+                                               const Schedule& ideal);
+
+}  // namespace edgesched::sched

@@ -1,0 +1,101 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace edgesched::sched {
+
+Schedule::Schedule(std::string algorithm, std::size_t num_tasks,
+                   std::size_t num_edges)
+    : algorithm_(std::move(algorithm)),
+      tasks_(num_tasks),
+      edges_(num_edges) {}
+
+void Schedule::place_task(dag::TaskId task, const TaskPlacement& placement) {
+  EDGESCHED_ASSERT(task.index() < tasks_.size());
+  EDGESCHED_ASSERT_MSG(!tasks_[task.index()].placed(),
+                       "task placed twice");
+  tasks_[task.index()] = placement;
+}
+
+void Schedule::set_communication(dag::EdgeId edge, EdgeCommunication comm) {
+  EDGESCHED_ASSERT(edge.index() < edges_.size());
+  edges_[edge.index()] = std::move(comm);
+}
+
+double Schedule::makespan() const noexcept {
+  double latest = 0.0;
+  for (const TaskPlacement& placement : tasks_) {
+    latest = std::max(latest, placement.finish);
+  }
+  return latest;
+}
+
+double Schedule::processor_utilisation(const dag::TaskGraph& graph,
+                                       const net::Topology& topology) const {
+  (void)graph;
+  const double total = makespan();
+  if (total <= 0.0 || topology.num_processors() == 0) {
+    return 0.0;
+  }
+  double busy = 0.0;
+  for (const TaskPlacement& placement : tasks_) {
+    if (placement.placed()) {
+      busy += placement.finish - placement.start;
+    }
+  }
+  return busy / (total * static_cast<double>(topology.num_processors()));
+}
+
+std::string Schedule::to_string(const dag::TaskGraph& graph,
+                                const net::Topology& topology) const {
+  std::ostringstream os;
+  os << "schedule[" << algorithm_ << "] makespan=" << makespan() << "\n";
+  // Group tasks by processor, ordered by start time.
+  std::map<net::NodeId, std::vector<dag::TaskId>> by_processor;
+  for (dag::TaskId t : graph.all_tasks()) {
+    if (tasks_[t.index()].placed()) {
+      by_processor[tasks_[t.index()].processor].push_back(t);
+    }
+  }
+  for (auto& [proc, task_list] : by_processor) {
+    std::sort(task_list.begin(), task_list.end(),
+              [&](dag::TaskId a, dag::TaskId b) {
+                return tasks_[a.index()].start < tasks_[b.index()].start;
+              });
+    os << "  " << topology.node(proc).name << ":";
+    for (dag::TaskId t : task_list) {
+      const TaskPlacement& p = tasks_[t.index()];
+      os << ' ' << graph.task(t).name << "[" << p.start << ',' << p.finish
+         << ')';
+    }
+    os << "\n";
+  }
+  for (dag::EdgeId e : graph.all_edges()) {
+    const EdgeCommunication& comm = edges_[e.index()];
+    if (comm.kind == EdgeCommunication::Kind::kLocal) {
+      continue;
+    }
+    const dag::Edge& edge = graph.edge(e);
+    os << "  edge " << graph.task(edge.src).name << "->"
+       << graph.task(edge.dst).name << " arrival=" << comm.arrival;
+    if (comm.kind == EdgeCommunication::Kind::kExclusive) {
+      for (const LinkOccupation& occ : comm.occupations) {
+        os << " L" << occ.link.value() << "[" << occ.start << ','
+           << occ.finish << ')';
+      }
+    } else if (comm.kind == EdgeCommunication::Kind::kPacketized) {
+      os << " packets=" << comm.packet_count;
+    } else if (comm.kind == EdgeCommunication::Kind::kBandwidth) {
+      for (std::size_t i = 0; i < comm.profiles.size(); ++i) {
+        os << " L" << comm.route[i].value() << "(v="
+           << comm.profiles[i].volume() << ")";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace edgesched::sched

@@ -1,0 +1,109 @@
+// Schedule result types.
+//
+// A `Schedule` fixes, for every task, a processor and an execution
+// interval, and, for every DAG edge, how its communication crosses the
+// network: locally (same processor), as exclusive per-link time slots
+// (BA / OIHSA), as bandwidth-sharing rate profiles (BBSA), or idealised
+// (the classic contention-free model, which books no link resources).
+// The independent checker lives in validator.hpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "net/topology.hpp"
+#include "timeline/rate_profile.hpp"
+
+namespace edgesched::sched {
+
+/// Where and when a task executes.
+struct TaskPlacement {
+  net::NodeId processor;
+  double start = 0.0;
+  double finish = 0.0;
+
+  [[nodiscard]] bool placed() const noexcept { return processor.valid(); }
+};
+
+/// An edge's occupation of one link in the exclusive model.
+struct LinkOccupation {
+  net::LinkId link;
+  double earliest_start = 0.0;  ///< t_es(e, L)
+  double start = 0.0;           ///< t_s(e, L); the slot is [start, finish]
+  double finish = 0.0;          ///< t_f(e, L)
+};
+
+/// How one DAG edge's communication was realised.
+struct EdgeCommunication {
+  enum class Kind {
+    kLocal,          ///< same processor: free, instantaneous
+    kExclusive,      ///< per-link exclusive time slots (BA, OIHSA)
+    kBandwidth,      ///< per-link rate profiles (BBSA)
+    kPacketized,     ///< store-and-forward packets on exclusive slots
+    kContentionFree  ///< idealised model: duration c(e)/speed, no links
+  };
+
+  Kind kind = Kind::kLocal;
+  net::Route route;  ///< empty for kLocal / kContentionFree
+  /// Exclusive model: one occupation per route link. Packetized model:
+  /// packet-major layout — occupation p·|route|+h is packet p on hop h.
+  std::vector<LinkOccupation> occupations;
+  /// Bandwidth model: one transfer profile per route link.
+  std::vector<timeline::RateProfile> profiles;
+  /// Packetized model: number of equal-volume packets (0 otherwise).
+  std::size_t packet_count = 0;
+  /// When the data is completely available at the destination processor.
+  double arrival = 0.0;
+};
+
+/// A complete scheduling result for one (graph, topology) instance.
+class Schedule {
+ public:
+  Schedule(std::string algorithm, std::size_t num_tasks,
+           std::size_t num_edges);
+
+  void place_task(dag::TaskId task, const TaskPlacement& placement);
+  void set_communication(dag::EdgeId edge, EdgeCommunication comm);
+
+  [[nodiscard]] const TaskPlacement& task(dag::TaskId id) const {
+    EDGESCHED_ASSERT(id.index() < tasks_.size());
+    return tasks_[id.index()];
+  }
+  [[nodiscard]] const EdgeCommunication& communication(dag::EdgeId id) const {
+    EDGESCHED_ASSERT(id.index() < edges_.size());
+    return edges_[id.index()];
+  }
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept {
+    return tasks_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size();
+  }
+
+  /// Latest task finish time; 0 for an empty schedule.
+  [[nodiscard]] double makespan() const noexcept;
+
+  /// Name of the algorithm that produced this schedule.
+  [[nodiscard]] const std::string& algorithm() const noexcept {
+    return algorithm_;
+  }
+
+  /// Sum of busy time over processors divided by makespan·|P| — a simple
+  /// utilisation figure for reports.
+  [[nodiscard]] double processor_utilisation(
+      const dag::TaskGraph& graph, const net::Topology& topology) const;
+
+  /// Human-readable Gantt-style dump (one line per task, then per edge).
+  [[nodiscard]] std::string to_string(const dag::TaskGraph& graph,
+                                      const net::Topology& topology) const;
+
+ private:
+  std::string algorithm_;
+  std::vector<TaskPlacement> tasks_;
+  std::vector<EdgeCommunication> edges_;
+};
+
+}  // namespace edgesched::sched

@@ -1,0 +1,27 @@
+#include "sched/scheduler.hpp"
+
+#include "sched/ba.hpp"
+#include "sched/bbsa.hpp"
+#include "sched/classic.hpp"
+#include "sched/oihsa.hpp"
+
+namespace edgesched::sched {
+
+void Scheduler::check_inputs(const dag::TaskGraph& graph,
+                             const net::Topology& topology) {
+  graph.validate();
+  throw_if(topology.num_processors() == 0,
+           "Scheduler: topology has no processors");
+  throw_if(!topology.processors_connected(),
+           "Scheduler: processors are not mutually reachable");
+}
+
+std::vector<std::unique_ptr<Scheduler>> all_schedulers() {
+  std::vector<std::unique_ptr<Scheduler>> result;
+  result.push_back(std::make_unique<BasicAlgorithm>());
+  result.push_back(std::make_unique<Oihsa>());
+  result.push_back(std::make_unique<Bbsa>());
+  return result;
+}
+
+}  // namespace edgesched::sched

@@ -1,0 +1,36 @@
+// Abstract scheduler interface: map a task DAG onto a network topology.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "net/topology.hpp"
+#include "sched/schedule.hpp"
+
+namespace edgesched::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Produces a complete schedule. The graph must be acyclic and the
+  /// topology must contain at least one processor with all processors
+  /// mutually reachable.
+  [[nodiscard]] virtual Schedule schedule(
+      const dag::TaskGraph& graph, const net::Topology& topology) const = 0;
+
+  /// Short display name ("BA", "OIHSA", "BBSA", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Common argument validation for all schedulers.
+  static void check_inputs(const dag::TaskGraph& graph,
+                           const net::Topology& topology);
+};
+
+/// All contention-aware algorithms of the reproduction, for sweep drivers.
+[[nodiscard]] std::vector<std::unique_ptr<Scheduler>> all_schedulers();
+
+}  // namespace edgesched::sched

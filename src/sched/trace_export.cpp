@@ -1,0 +1,188 @@
+#include "sched/trace_export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace edgesched::sched {
+
+namespace {
+
+/// Minimal JSON string escaping for names.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+struct LinkEvent {
+  net::DomainId domain;
+  double start;
+  double finish;
+  std::string label;
+};
+
+std::vector<LinkEvent> collect_link_events(const dag::TaskGraph& graph,
+                                           const net::Topology& topology,
+                                           const Schedule& schedule) {
+  std::vector<LinkEvent> events;
+  for (dag::EdgeId e : graph.all_edges()) {
+    const EdgeCommunication& comm = schedule.communication(e);
+    const dag::Edge& edge = graph.edge(e);
+    const std::string label = graph.task(edge.src).name + "->" +
+                              graph.task(edge.dst).name;
+    if (comm.kind == EdgeCommunication::Kind::kExclusive ||
+        comm.kind == EdgeCommunication::Kind::kPacketized) {
+      for (const LinkOccupation& occ : comm.occupations) {
+        if (occ.finish > occ.start) {
+          events.push_back(LinkEvent{topology.domain(occ.link), occ.start,
+                                     occ.finish, label});
+        }
+      }
+    } else if (comm.kind == EdgeCommunication::Kind::kBandwidth) {
+      for (std::size_t i = 0; i < comm.profiles.size(); ++i) {
+        const auto& profile = comm.profiles[i];
+        if (!profile.empty()) {
+          events.push_back(LinkEvent{topology.domain(comm.route[i]),
+                                     profile.start_time(),
+                                     profile.finish_time(), label});
+        }
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const dag::TaskGraph& graph,
+                        const net::Topology& topology,
+                        const Schedule& schedule) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](int pid, std::uint32_t tid,
+                        const std::string& name, double start,
+                        double duration) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"name\":\"" << json_escape(name) << "\",\"ts\":" << start
+        << ",\"dur\":" << duration << "}";
+  };
+  // Row names.
+  for (net::NodeId p : topology.processors()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n{\"ph\":\"M\",\"pid\":0,\"tid\":" << p.value()
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << json_escape(topology.node(p).name) << "\"}}";
+  }
+
+  for (dag::TaskId t : graph.all_tasks()) {
+    const TaskPlacement& placement = schedule.task(t);
+    if (placement.placed()) {
+      emit(0, placement.processor.value(), graph.task(t).name,
+           placement.start, placement.finish - placement.start);
+    }
+  }
+  for (const LinkEvent& ev :
+       collect_link_events(graph, topology, schedule)) {
+    emit(1, ev.domain.value(), ev.label, ev.start, ev.finish - ev.start);
+  }
+  out << "\n]}\n";
+}
+
+std::string to_chrome_trace(const dag::TaskGraph& graph,
+                            const net::Topology& topology,
+                            const Schedule& schedule) {
+  std::ostringstream os;
+  write_chrome_trace(os, graph, topology, schedule);
+  return os.str();
+}
+
+void write_ascii_gantt(std::ostream& out, const dag::TaskGraph& graph,
+                       const net::Topology& topology,
+                       const Schedule& schedule,
+                       const GanttOptions& options) {
+  const double makespan = schedule.makespan();
+  const std::size_t width = std::max<std::size_t>(options.width, 8);
+  const auto column = [&](double t) {
+    if (makespan <= 0.0) {
+      return std::size_t{0};
+    }
+    const double f = std::clamp(t / makespan, 0.0, 1.0);
+    return std::min(width - 1,
+                    static_cast<std::size_t>(f * static_cast<double>(
+                                                     width)));
+  };
+  const auto paint = [&](std::string& row, double start, double finish,
+                         char mark) {
+    const std::size_t a = column(start);
+    const std::size_t b = column(std::nextafter(finish, start));
+    for (std::size_t i = a; i <= b && i < width; ++i) {
+      row[i] = mark;
+    }
+  };
+
+  out << "gantt [" << schedule.algorithm()
+      << "] makespan=" << makespan << ", full width = " << makespan
+      << " time units\n";
+  for (net::NodeId p : topology.processors()) {
+    std::string row(width, '.');
+    for (dag::TaskId t : graph.all_tasks()) {
+      const TaskPlacement& placement = schedule.task(t);
+      if (placement.placed() && placement.processor == p &&
+          placement.finish > placement.start) {
+        paint(row, placement.start, placement.finish, '#');
+      }
+    }
+    out << "  " << topology.node(p).name;
+    for (std::size_t pad = topology.node(p).name.size(); pad < 8; ++pad) {
+      out << ' ';
+    }
+    out << '|' << row << "|\n";
+  }
+  if (options.include_links) {
+    std::map<net::DomainId, std::string> rows;
+    for (const LinkEvent& ev :
+         collect_link_events(graph, topology, schedule)) {
+      auto [it, inserted] =
+          rows.try_emplace(ev.domain, std::string(width, '.'));
+      paint(it->second, ev.start, ev.finish, '=');
+    }
+    for (const auto& [domain, row] : rows) {
+      std::string label = "D" + std::to_string(domain.value());
+      out << "  " << label;
+      for (std::size_t pad = label.size(); pad < 8; ++pad) {
+        out << ' ';
+      }
+      out << '|' << row << "|\n";
+    }
+  }
+}
+
+std::string to_ascii_gantt(const dag::TaskGraph& graph,
+                           const net::Topology& topology,
+                           const Schedule& schedule,
+                           const GanttOptions& options) {
+  std::ostringstream os;
+  write_ascii_gantt(os, graph, topology, schedule, options);
+  return os.str();
+}
+
+}  // namespace edgesched::sched

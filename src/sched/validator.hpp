@@ -1,0 +1,57 @@
+// Independent schedule checker.
+//
+// Every property the scheduling model demands is re-verified here from
+// the Schedule alone, without trusting any scheduler internals:
+//   * every task is placed on a processor, with finish = start + w/s(P);
+//   * tasks on one processor never overlap (no preemption, §2.1);
+//   * precedence: a task starts no earlier than each predecessor's finish
+//     and no earlier than its data arrivals;
+//   * cross-processor edges carry a valid route from proc(src) to
+//     proc(dst);
+//   * exclusive model: per-link slot lengths equal c(e)/s(L); t_es and
+//     t_f are non-decreasing along the route (link causality, §2.2);
+//     slots within one contention domain never overlap;
+//   * bandwidth model: per-link volumes equal c(e); cumulative outflow
+//     never exceeds cumulative inflow of the previous link; the summed
+//     rates within one contention domain never exceed its capacity;
+//   * the reported makespan equals the latest task finish.
+//
+// The property test-suites run every schedule produced by every algorithm
+// through this checker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "net/topology.hpp"
+#include "sched/schedule.hpp"
+
+namespace edgesched::sched {
+
+struct ValidationOptions {
+  /// Absolute tolerance for all time comparisons.
+  double epsilon = 1e-6;
+  /// kContentionFree schedules skip the link-resource checks (they book
+  /// none); set to false to reject such schedules outright.
+  bool allow_contention_free = true;
+};
+
+/// Returns a list of human-readable violations; empty means valid.
+[[nodiscard]] std::vector<std::string> validate(
+    const dag::TaskGraph& graph, const net::Topology& topology,
+    const Schedule& schedule, const ValidationOptions& options = {});
+
+/// Convenience wrapper: true iff `validate` returns no violations.
+[[nodiscard]] bool is_valid(const dag::TaskGraph& graph,
+                            const net::Topology& topology,
+                            const Schedule& schedule,
+                            const ValidationOptions& options = {});
+
+/// Throws std::runtime_error with all violations joined when invalid.
+void validate_or_throw(const dag::TaskGraph& graph,
+                       const net::Topology& topology,
+                       const Schedule& schedule,
+                       const ValidationOptions& options = {});
+
+}  // namespace edgesched::sched

@@ -1,0 +1,43 @@
+#include "sim/perturbation.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace edgesched::sim {
+
+RobustnessReport assess_robustness(const dag::TaskGraph& graph,
+                                   const net::Topology& topology,
+                                   const sched::Schedule& schedule,
+                                   const PerturbationOptions& options) {
+  throw_if(options.spread < 0.0 || options.spread >= 1.0,
+           "assess_robustness: spread must be in [0, 1)");
+  throw_if(options.trials == 0, "assess_robustness: trials must be > 0");
+
+  const sched::Assignment assignment =
+      sched::assignment_of(graph, schedule);
+  RobustnessReport report;
+  report.nominal_makespan =
+      sched::assignment_makespan(graph, topology, assignment);
+
+  Rng rng(options.seed);
+  dag::TaskGraph perturbed = graph;  // weights rewritten per trial
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    for (dag::TaskId t : graph.all_tasks()) {
+      const double factor = rng.uniform_real(1.0 - options.spread,
+                                             1.0 + options.spread);
+      perturbed.set_weight(t, graph.weight(t) * factor);
+    }
+    report.perturbed.add(
+        sched::assignment_makespan(perturbed, topology, assignment));
+  }
+  if (report.nominal_makespan > 0.0) {
+    report.mean_slowdown =
+        report.perturbed.mean() / report.nominal_makespan;
+    report.worst_slowdown =
+        report.perturbed.max() / report.nominal_makespan;
+  }
+  return report;
+}
+
+}  // namespace edgesched::sim

@@ -1,0 +1,149 @@
+#include "sim/runner.hpp"
+
+#include <memory>
+
+#include "sched/ba.hpp"
+#include "sched/bbsa.hpp"
+#include "sched/oihsa.hpp"
+#include "sched/validator.hpp"
+
+namespace edgesched::sim {
+
+InstanceResult run_instance(
+    const Instance& instance,
+    const std::vector<std::unique_ptr<sched::Scheduler>>& schedulers,
+    bool validate_schedules) {
+  InstanceResult result;
+  result.makespans.reserve(schedulers.size());
+  for (const auto& scheduler : schedulers) {
+    const sched::Schedule schedule =
+        scheduler->schedule(instance.graph, instance.topology);
+    if (validate_schedules) {
+      sched::validate_or_throw(instance.graph, instance.topology, schedule);
+    }
+    result.makespans.push_back(schedule.makespan());
+  }
+  return result;
+}
+
+double improvement_pct(double baseline, double candidate) {
+  if (baseline <= 0.0) {
+    return 0.0;
+  }
+  return 100.0 * (baseline - candidate) / baseline;
+}
+
+namespace {
+
+/// Shared sweep core: for every (x-point, secondary value, repetition)
+/// triple, draw an instance and accumulate the improvements at the
+/// x-point. `x_is_ccr` selects which figure family is produced.
+std::vector<SweepPoint> sweep(const ExperimentConfig& config, bool x_is_ccr,
+                              bool validate_schedules,
+                              const ProgressFn& progress) {
+  std::vector<std::unique_ptr<sched::Scheduler>> schedulers;
+  schedulers.push_back(std::make_unique<sched::BasicAlgorithm>());
+  schedulers.push_back(std::make_unique<sched::Oihsa>());
+  schedulers.push_back(std::make_unique<sched::Bbsa>());
+
+  const std::size_t x_count =
+      x_is_ccr ? config.ccr_values.size() : config.processor_counts.size();
+  const std::size_t y_count =
+      x_is_ccr ? config.processor_counts.size() : config.ccr_values.size();
+  std::vector<SweepPoint> points(x_count);
+
+  const std::size_t total = x_count * y_count * config.repetitions;
+  std::size_t completed = 0;
+  Rng root(config.seed);
+  for (std::size_t xi = 0; xi < x_count; ++xi) {
+    points[xi].x = x_is_ccr
+                       ? config.ccr_values[xi]
+                       : static_cast<double>(config.processor_counts[xi]);
+    for (std::size_t yi = 0; yi < y_count; ++yi) {
+      const double ccr =
+          x_is_ccr ? config.ccr_values[xi] : config.ccr_values[yi];
+      const std::size_t procs = x_is_ccr ? config.processor_counts[yi]
+                                         : config.processor_counts[xi];
+      for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+        Rng rng = root.fork();
+        const Instance instance = make_instance(config, procs, ccr, rng);
+        const InstanceResult result =
+            run_instance(instance, schedulers, validate_schedules);
+        const double ba = result.makespans[0];
+        points[xi].ba_makespan.add(ba);
+        points[xi].oihsa_improvement_pct.add(
+            improvement_pct(ba, result.makespans[1]));
+        points[xi].bbsa_improvement_pct.add(
+            improvement_pct(ba, result.makespans[2]));
+        ++completed;
+        if (progress) {
+          progress(completed, total);
+        }
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> sweep_ccr(const ExperimentConfig& config,
+                                  bool validate_schedules,
+                                  const ProgressFn& progress) {
+  return sweep(config, /*x_is_ccr=*/true, validate_schedules, progress);
+}
+
+std::vector<SweepPoint> sweep_processors(const ExperimentConfig& config,
+                                         bool validate_schedules,
+                                         const ProgressFn& progress) {
+  return sweep(config, /*x_is_ccr=*/false, validate_schedules, progress);
+}
+
+std::vector<SweepPoint> sweep_task_counts(
+    const ExperimentConfig& config,
+    const std::vector<std::size_t>& task_counts, bool validate_schedules,
+    const ProgressFn& progress) {
+  throw_if(task_counts.empty(), "sweep_task_counts: no task counts");
+  std::vector<std::unique_ptr<sched::Scheduler>> schedulers;
+  schedulers.push_back(std::make_unique<sched::BasicAlgorithm>());
+  schedulers.push_back(std::make_unique<sched::Oihsa>());
+  schedulers.push_back(std::make_unique<sched::Bbsa>());
+
+  std::vector<SweepPoint> points(task_counts.size());
+  const std::size_t total = task_counts.size() *
+                            config.ccr_values.size() *
+                            config.processor_counts.size() *
+                            config.repetitions;
+  std::size_t completed = 0;
+  Rng root(config.seed);
+  for (std::size_t xi = 0; xi < task_counts.size(); ++xi) {
+    points[xi].x = static_cast<double>(task_counts[xi]);
+    ExperimentConfig pinned = config;
+    pinned.tasks_min = task_counts[xi];
+    pinned.tasks_max = task_counts[xi];
+    for (double ccr : config.ccr_values) {
+      for (std::size_t procs : config.processor_counts) {
+        for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+          Rng rng = root.fork();
+          const Instance instance =
+              make_instance(pinned, procs, ccr, rng);
+          const InstanceResult result =
+              run_instance(instance, schedulers, validate_schedules);
+          const double ba = result.makespans[0];
+          points[xi].ba_makespan.add(ba);
+          points[xi].oihsa_improvement_pct.add(
+              improvement_pct(ba, result.makespans[1]));
+          points[xi].bbsa_improvement_pct.add(
+              improvement_pct(ba, result.makespans[2]));
+          ++completed;
+          if (progress) {
+            progress(completed, total);
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace edgesched::sim

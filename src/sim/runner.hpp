@@ -1,0 +1,64 @@
+// Experiment runner: sweeps reproducing the paper's figures.
+//
+// Fig. 1/3: % improvement in makespan of OIHSA and BBSA over BA as a
+// function of CCR, averaged over processor counts and repetitions.
+// Fig. 2/4: the same improvement as a function of processor count,
+// averaged over CCR and repetitions.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sim/stats.hpp"
+#include "sim/workload.hpp"
+
+namespace edgesched::sim {
+
+/// Makespans of one instance under a set of algorithms.
+struct InstanceResult {
+  std::vector<double> makespans;  ///< parallel to the scheduler list
+};
+
+/// Runs every scheduler on the instance; optionally validates each
+/// schedule (throws on violation).
+[[nodiscard]] InstanceResult run_instance(
+    const Instance& instance,
+    const std::vector<std::unique_ptr<sched::Scheduler>>& schedulers,
+    bool validate_schedules);
+
+/// One x-axis point of an improvement sweep.
+struct SweepPoint {
+  double x = 0.0;  ///< CCR or processor count
+  RunningStats oihsa_improvement_pct;
+  RunningStats bbsa_improvement_pct;
+  RunningStats ba_makespan;
+};
+
+/// Progress callback: (completed instances, total instances).
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/// Fig. 1 (homogeneous) / Fig. 3 (heterogeneous): improvement vs CCR.
+[[nodiscard]] std::vector<SweepPoint> sweep_ccr(
+    const ExperimentConfig& config, bool validate_schedules = false,
+    const ProgressFn& progress = {});
+
+/// Fig. 2 (homogeneous) / Fig. 4 (heterogeneous): improvement vs
+/// processor count.
+[[nodiscard]] std::vector<SweepPoint> sweep_processors(
+    const ExperimentConfig& config, bool validate_schedules = false,
+    const ProgressFn& progress = {});
+
+/// Extension experiment (not in the paper): improvement vs task count.
+/// Each x point pins the instance size to `task_counts[i]` and averages
+/// over the config's CCR values and processor counts.
+[[nodiscard]] std::vector<SweepPoint> sweep_task_counts(
+    const ExperimentConfig& config,
+    const std::vector<std::size_t>& task_counts,
+    bool validate_schedules = false, const ProgressFn& progress = {});
+
+/// Percentage improvement of `candidate` over `baseline` makespans.
+[[nodiscard]] double improvement_pct(double baseline, double candidate);
+
+}  // namespace edgesched::sim

@@ -1,0 +1,74 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace edgesched::sim {
+
+void print_sweep(std::ostream& out, const std::string& x_label,
+                 const std::vector<SweepPoint>& points) {
+  out << std::setw(10) << x_label << " | " << std::setw(22)
+      << "OIHSA vs BA [%]" << " | " << std::setw(22) << "BBSA vs BA [%]"
+      << " | " << std::setw(14) << "BA makespan" << "\n";
+  out << std::string(10, '-') << "-+-" << std::string(22, '-') << "-+-"
+      << std::string(22, '-') << "-+-" << std::string(14, '-') << "\n";
+  for (const SweepPoint& p : points) {
+    out << std::setw(10) << p.x << " | " << std::setw(14) << std::fixed
+        << std::setprecision(2) << p.oihsa_improvement_pct.mean() << " ± "
+        << std::setw(5) << p.oihsa_improvement_pct.ci95_halfwidth() << " | "
+        << std::setw(14) << p.bbsa_improvement_pct.mean() << " ± "
+        << std::setw(5) << p.bbsa_improvement_pct.ci95_halfwidth() << " | "
+        << std::setw(14) << std::setprecision(1) << p.ba_makespan.mean()
+        << "\n";
+    out.unsetf(std::ios::fixed);
+    out << std::setprecision(6);
+  }
+}
+
+void write_sweep_csv(std::ostream& out, const std::string& x_label,
+                     const std::vector<SweepPoint>& points) {
+  out << x_label
+      << ",oihsa_improvement_pct,oihsa_ci95,bbsa_improvement_pct,bbsa_ci95,"
+         "ba_makespan,samples\n";
+  for (const SweepPoint& p : points) {
+    out << p.x << ',' << p.oihsa_improvement_pct.mean() << ','
+        << p.oihsa_improvement_pct.ci95_halfwidth() << ','
+        << p.bbsa_improvement_pct.mean() << ','
+        << p.bbsa_improvement_pct.ci95_halfwidth() << ','
+        << p.ba_makespan.mean() << ',' << p.oihsa_improvement_pct.count()
+        << "\n";
+  }
+}
+
+void print_sweep_chart(std::ostream& out, const std::string& x_label,
+                       const std::vector<SweepPoint>& points) {
+  double peak = 1.0;
+  for (const SweepPoint& p : points) {
+    peak = std::max({peak, p.oihsa_improvement_pct.mean(),
+                     p.bbsa_improvement_pct.mean()});
+  }
+  constexpr int kWidth = 50;
+  out << "improvement over BA (o = OIHSA, b = BBSA), full bar = "
+      << std::fixed << std::setprecision(1) << peak << "%\n";
+  out << std::setprecision(6);
+  out.unsetf(std::ios::fixed);
+  for (const SweepPoint& p : points) {
+    const auto bar = [&](double value) {
+      const int n = static_cast<int>(
+          std::round(std::clamp(value / peak, 0.0, 1.0) * kWidth));
+      return std::string(static_cast<std::size_t>(std::max(0, n)), '#');
+    };
+    out << std::setw(8) << p.x << ' ' << x_label << "\n";
+    out << "   o " << bar(p.oihsa_improvement_pct.mean()) << ' '
+        << std::fixed << std::setprecision(1)
+        << p.oihsa_improvement_pct.mean() << "%\n";
+    out << "   b " << bar(p.bbsa_improvement_pct.mean()) << ' '
+        << p.bbsa_improvement_pct.mean() << "%\n";
+    out << std::setprecision(6);
+    out.unsetf(std::ios::fixed);
+  }
+}
+
+}  // namespace edgesched::sim

@@ -1,0 +1,27 @@
+// Result presentation: aligned ASCII tables and CSV files for the
+// figure-reproduction benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace edgesched::sim {
+
+/// Prints a sweep as an aligned table:
+///   x | OIHSA vs BA % (± ci) | BBSA vs BA % (± ci) | BA makespan
+void print_sweep(std::ostream& out, const std::string& x_label,
+                 const std::vector<SweepPoint>& points);
+
+/// Writes the sweep as CSV with a header row.
+void write_sweep_csv(std::ostream& out, const std::string& x_label,
+                     const std::vector<SweepPoint>& points);
+
+/// Crude console bar chart of the two improvement series (the shape check
+/// for the paper's figures).
+void print_sweep_chart(std::ostream& out, const std::string& x_label,
+                       const std::vector<SweepPoint>& points);
+
+}  // namespace edgesched::sim

@@ -1,0 +1,68 @@
+#include "sim/workload.hpp"
+
+#include "dag/generators.hpp"
+#include "dag/properties.hpp"
+#include "net/builders.hpp"
+#include "util/env.hpp"
+
+namespace edgesched::sim {
+
+std::vector<double> ExperimentConfig::paper_ccr_values() {
+  std::vector<double> values;
+  for (int i = 1; i <= 10; ++i) {
+    values.push_back(static_cast<double>(i) / 10.0);
+  }
+  for (int i = 2; i <= 10; ++i) {
+    values.push_back(static_cast<double>(i));
+  }
+  return values;
+}
+
+std::vector<std::size_t> ExperimentConfig::paper_processor_counts() {
+  return {2, 4, 8, 16, 32, 64, 128};
+}
+
+ExperimentConfig ExperimentConfig::defaults(bool heterogeneous) {
+  ExperimentConfig config;
+  config.heterogeneous = heterogeneous;
+  config.ccr_values = paper_ccr_values();
+  config.processor_counts = paper_processor_counts();
+  if (env_flag("EDGESCHED_FULL", false)) {
+    config.repetitions = 10;
+  }
+  config.tasks_min = static_cast<std::size_t>(env_int(
+      "EDGESCHED_TASKS_MIN", static_cast<std::int64_t>(config.tasks_min)));
+  config.tasks_max = static_cast<std::size_t>(env_int(
+      "EDGESCHED_TASKS_MAX", static_cast<std::int64_t>(config.tasks_max)));
+  config.repetitions = static_cast<std::size_t>(env_int(
+      "EDGESCHED_REPS", static_cast<std::int64_t>(config.repetitions)));
+  config.seed = static_cast<std::uint64_t>(
+      env_int("EDGESCHED_SEED", static_cast<std::int64_t>(config.seed)));
+  return config;
+}
+
+Instance make_instance(const ExperimentConfig& config,
+                       std::size_t num_processors, double ccr, Rng& rng) {
+  throw_if(config.tasks_min == 0 || config.tasks_min > config.tasks_max,
+           "make_instance: bad task count range");
+  dag::LayeredDagParams dag_params;
+  dag_params.num_tasks = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(config.tasks_min),
+                      static_cast<std::int64_t>(config.tasks_max)));
+  dag_params.comp_min = 1.0;
+  dag_params.comp_max = 1000.0;
+  dag_params.comm_min = 1.0;
+  dag_params.comm_max = 1000.0;
+
+  Instance instance{dag::random_layered(dag_params, rng), net::Topology{},
+                    ccr};
+  dag::rescale_to_ccr(instance.graph, ccr);
+
+  net::RandomWanParams wan;
+  wan.num_processors = num_processors;
+  wan.speeds.heterogeneous = config.heterogeneous;
+  instance.topology = net::random_wan(wan, rng);
+  return instance;
+}
+
+}  // namespace edgesched::sim

@@ -1,0 +1,55 @@
+// Experiment workloads: the paper's evaluation configuration (§6).
+//
+//   * task counts U(40, 1000) — scaled down by default, restorable via
+//     EDGESCHED_FULL=1 or explicit fields;
+//   * computation and communication costs U(1, 1000), communication then
+//     rescaled to the target CCR;
+//   * processor counts {2, 4, 8, 16, 32, 64, 128};
+//   * CCR in {0.1..1.0 step 0.1} ∪ {2..10 step 1};
+//   * homogeneous: all speeds 1; heterogeneous: speeds U(1, 10);
+//   * network: random WAN with switch fan-out U(4, 16).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace edgesched::sim {
+
+struct ExperimentConfig {
+  bool heterogeneous = false;
+  std::vector<double> ccr_values;
+  std::vector<std::size_t> processor_counts;
+  std::size_t tasks_min = 40;
+  std::size_t tasks_max = 1000;  // the paper's U(40, 1000)
+  std::size_t repetitions = 3;
+  std::uint64_t seed = 20060815;  // ICPP 2006
+
+  /// Paper defaults; environment variables EDGESCHED_TASKS_MIN/MAX,
+  /// EDGESCHED_REPS, EDGESCHED_SEED override, and EDGESCHED_FULL=1 raises
+  /// the repetition count for smoother curves.
+  [[nodiscard]] static ExperimentConfig defaults(bool heterogeneous);
+
+  /// The paper's 19 CCR sampling points.
+  [[nodiscard]] static std::vector<double> paper_ccr_values();
+  /// The paper's processor counts {2,...,128}.
+  [[nodiscard]] static std::vector<std::size_t> paper_processor_counts();
+};
+
+/// One randomly drawn (graph, topology) problem instance.
+struct Instance {
+  dag::TaskGraph graph;
+  net::Topology topology;
+  double target_ccr = 0.0;
+};
+
+/// Draws an instance for the given processor count and CCR.
+[[nodiscard]] Instance make_instance(const ExperimentConfig& config,
+                                     std::size_t num_processors, double ccr,
+                                     Rng& rng);
+
+}  // namespace edgesched::sim

@@ -1,0 +1,76 @@
+// Bandwidth-sharing link timeline — the schedulable state of one
+// contention domain under BBSA (§5).
+//
+// Where the exclusive `LinkTimeline` books whole intervals, this timeline
+// tracks the *remaining* transfer rate over time as a piecewise-constant
+// function starting at the full link speed. An idle interval is just a
+// stretch with 100 % remaining rate (the paper treats both uniformly).
+// Edges claim rate profiles; overlapping transfers share the link, and the
+// paper's formulas (4)/(5) are realised by the fluid `forward` sweep:
+// outflow on this link can exceed neither its remaining capacity nor the
+// cumulative inflow from the previous link.
+#pragma once
+
+#include <vector>
+
+#include "timeline/rate_profile.hpp"
+#include "util/error.hpp"
+
+namespace edgesched::timeline {
+
+class BandwidthTimeline {
+ public:
+  /// `capacity` is the link's transfer speed s(L) > 0.
+  explicit BandwidthTimeline(double capacity);
+
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+
+  /// Remaining rate at time t.
+  [[nodiscard]] double remaining_at(double t) const;
+
+  /// Source-side transfer: all `volume` is available at `ready_time`; the
+  /// edge greedily uses every drop of remaining bandwidth from then on.
+  /// Returns the transfer profile; does not commit.
+  [[nodiscard]] RateProfile transfer_from(double ready_time,
+                                          double volume) const;
+
+  /// Forwarding transfer: moves `inflow.volume()` across this link subject
+  /// to cum_out(t) <= cum_in(t) (data must have arrived on the previous
+  /// link) and rate_out(t) <= remaining(t). Greedy, hence earliest-finish.
+  /// Returns the transfer profile; does not commit.
+  [[nodiscard]] RateProfile forward(const RateProfile& inflow) const;
+
+  /// Books a probed profile: subtracts it from the remaining rate.
+  /// The profile must respect the current remaining capacity.
+  void consume(const RateProfile& profile);
+
+  /// First time >= t with positive remaining rate.
+  [[nodiscard]] double first_available(double t) const;
+
+  /// Earliest time by which `volume` could finish if sent from `t` using
+  /// all remaining bandwidth — the routing probe for BBSA.
+  [[nodiscard]] double earliest_finish(double t, double volume) const;
+
+  /// Piecewise representation, for tests: (start, remaining) pairs; each
+  /// entry holds until the next entry's start, the last one forever.
+  [[nodiscard]] const std::vector<std::pair<double, double>>& breakpoints()
+      const noexcept {
+    return breakpoints_;
+  }
+
+  /// Verifies representation invariants.
+  void check_invariants() const;
+
+ private:
+  /// Ensures a breakpoint exists exactly at time t; returns its index.
+  std::size_t split_at(double t);
+  /// Index of the breakpoint segment containing time t.
+  [[nodiscard]] std::size_t segment_index(double t) const;
+
+  double capacity_;
+  /// Sorted (start, remaining) pairs covering [0, inf); starts strictly
+  /// increase and the first entry is at t = 0.
+  std::vector<std::pair<double, double>> breakpoints_;
+};
+
+}  // namespace edgesched::timeline

@@ -1,0 +1,87 @@
+#include "timeline/link_timeline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "timeline/tolerance.hpp"
+
+namespace edgesched::timeline {
+
+Placement LinkTimeline::probe_basic(double t_es_in, double t_f_min,
+                                    double duration) const {
+  EDGESCHED_ASSERT_MSG(duration > 0.0, "edge duration must be positive");
+  // Walk the idle intervals in time order: before the first slot, between
+  // consecutive slots, after the last slot (unbounded). The slot start is
+  // computed first so that earliest_start <= start holds exactly, with no
+  // rounding from (earliest + duration) - duration.
+  double gap_start = 0.0;
+  for (std::size_t i = 0; i <= slots_.size(); ++i) {
+    const double gap_end = (i < slots_.size())
+                               ? slots_[i].start
+                               : std::numeric_limits<double>::infinity();
+    const double earliest = std::max(gap_start, t_es_in);
+    const double start = std::max(earliest, t_f_min - duration);
+    const double finish = start + duration;
+    if (finish <= gap_end + time_eps(finish)) {
+      return Placement{earliest, start, finish, i};
+    }
+    if (i < slots_.size()) {
+      gap_start = slots_[i].finish;
+    }
+  }
+  EDGESCHED_ASSERT_MSG(false, "unreachable: open tail always admits edge");
+  return {};
+}
+
+void LinkTimeline::commit(const Placement& placement, dag::EdgeId edge) {
+  EDGESCHED_ASSERT(placement.position <= slots_.size());
+  EDGESCHED_ASSERT(placement.start <=
+                   placement.finish + time_eps(placement.finish));
+  slots_.insert(slots_.begin() + static_cast<std::ptrdiff_t>(
+                                     placement.position),
+                TimeSlot{placement.earliest_start, placement.start,
+                         placement.finish, edge});
+  check_invariants();
+}
+
+void LinkTimeline::erase(std::size_t position) {
+  EDGESCHED_ASSERT(position < slots_.size());
+  slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(position));
+}
+
+double LinkTimeline::busy_time() const noexcept {
+  double busy = 0.0;
+  for (const TimeSlot& slot : slots_) {
+    busy += slot.finish - slot.start;
+  }
+  return busy;
+}
+
+void LinkTimeline::shift_slot(std::size_t index, double new_earliest_start,
+                              double new_start, double new_finish) {
+  EDGESCHED_ASSERT(index < slots_.size());
+  TimeSlot& slot = slots_[index];
+  EDGESCHED_ASSERT_MSG(new_start >= slot.start - time_eps(slot.start),
+                       "slots may only be deferred, never advanced");
+  slot.earliest_start = new_earliest_start;
+  slot.start = new_start;
+  slot.finish = new_finish;
+}
+
+void LinkTimeline::check_invariants() const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const TimeSlot& slot = slots_[i];
+    EDGESCHED_ASSERT_MSG(slot.start <= slot.finish + time_eps(slot.finish),
+                         "slot start after finish");
+    EDGESCHED_ASSERT_MSG(
+        slot.earliest_start <= slot.start + time_eps(slot.start),
+                         "slot earliest_start after start");
+    if (i > 0) {
+      EDGESCHED_ASSERT_MSG(
+          slots_[i - 1].finish <= slot.start + time_eps(slot.start),
+                           "slots overlap or are unsorted");
+    }
+  }
+}
+
+}  // namespace edgesched::timeline

@@ -1,0 +1,65 @@
+// Exclusive link timeline: the schedulable state of one contention domain.
+//
+// Communications do not preempt each other (§2.2), so a link is a sorted
+// sequence of disjoint occupied `TimeSlot`s. `probe_basic` implements the
+// Basic Algorithm's first-fit insertion search (§3): find the earliest
+// idle interval that admits the edge without violating link causality.
+// The OIHSA optimal insertion lives in optimal_insertion.hpp because it
+// additionally needs deferral slack derived from *other* links.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "timeline/time_slot.hpp"
+#include "util/error.hpp"
+
+namespace edgesched::timeline {
+
+class LinkTimeline {
+ public:
+  /// First-fit search: the earliest placement with
+  ///   t_f = max(gap_start + dur, t_es_in + dur, t_f_min) inside an idle
+  /// interval. `t_es_in` is the earliest start arriving from the previous
+  /// hop (or the source task); `t_f_min` the previous hop's finish (0 on
+  /// the first hop); `duration` = c(e)/s(L). Never fails: the open tail
+  /// after the last slot always admits the edge.
+  [[nodiscard]] Placement probe_basic(double t_es_in, double t_f_min,
+                                      double duration) const;
+
+  /// Inserts the probed slot. The placement must come from a probe against
+  /// the current timeline state.
+  void commit(const Placement& placement, dag::EdgeId edge);
+
+  /// Removes the slot at `position` (used by schedule replay and tests).
+  void erase(std::size_t position);
+
+  [[nodiscard]] const std::vector<TimeSlot>& slots() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
+
+  /// Finish time of the last slot; 0 when idle.
+  [[nodiscard]] double last_finish() const noexcept {
+    return slots_.empty() ? 0.0 : slots_.back().finish;
+  }
+
+  /// Total occupied time (for load statistics).
+  [[nodiscard]] double busy_time() const noexcept;
+
+  /// Direct slot mutation for the optimal-insertion cascade. `index` must
+  /// be valid and the new interval must keep the sequence sorted and
+  /// disjoint (checked).
+  void shift_slot(std::size_t index, double new_earliest_start,
+                  double new_start, double new_finish);
+
+  /// Verifies internal invariants: sorted, disjoint, start <= finish,
+  /// earliest_start <= start. Throws InternalError on violation.
+  void check_invariants() const;
+
+ private:
+  std::vector<TimeSlot> slots_;  ///< sorted by start, pairwise disjoint
+};
+
+}  // namespace edgesched::timeline

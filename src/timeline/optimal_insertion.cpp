@@ -1,0 +1,78 @@
+#include "timeline/optimal_insertion.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "timeline/tolerance.hpp"
+
+namespace edgesched::timeline {
+
+OptimalPlacement probe_optimal(const LinkTimeline& timeline, double t_es_in,
+                               double t_f_min, double duration,
+                               const DeferralFn& deferral) {
+  EDGESCHED_ASSERT_MSG(duration > 0.0, "edge duration must be positive");
+  const std::vector<TimeSlot>& slots = timeline.slots();
+  const std::size_t count = slots.size();
+
+  // Fallback: append after the last slot — always feasible. Start is
+  // computed first so earliest_start <= start holds exactly.
+  OptimalPlacement best;
+  {
+    const double earliest = std::max(timeline.last_finish(), t_es_in);
+    const double start = std::max(earliest, t_f_min - duration);
+    best.placement = Placement{earliest, start, start + duration, count};
+  }
+
+  // Tail-to-head scan (formula (2)): accum is the largest accumulated
+  // deferral available at the current slot; overwriting `best` on every
+  // feasible position leaves the head-most — and therefore earliest —
+  // one (Theorem 1).
+  double accum = 0.0;
+  for (std::size_t i = count; i-- > 0;) {
+    const TimeSlot& slot = slots[i];
+    const double dt = std::max(0.0, deferral(slot));
+    if (i + 1 == count) {
+      accum = dt;
+    } else {
+      accum = std::min(dt, accum + (slots[i + 1].start - slot.finish));
+    }
+    const double gap_start = (i == 0) ? 0.0 : slots[i - 1].finish;
+    const double earliest = std::max(gap_start, t_es_in);
+    const double start = std::max(earliest, t_f_min - duration);
+    const double finish = start + duration;
+    if (finish <= slot.start + accum + time_eps(finish)) {
+      best.placement = Placement{earliest, start, finish, i};
+    }
+  }
+
+  // Cascade of displaced slots behind the chosen position.
+  best.shifts.clear();
+  double frontier = best.placement.finish;
+  for (std::size_t j = best.placement.position; j < count; ++j) {
+    const TimeSlot& slot = slots[j];
+    if (slot.start + time_eps(slot.start) >= frontier) {
+      break;
+    }
+    const double delta = frontier - slot.start;
+    EDGESCHED_ASSERT_MSG(
+        delta <= std::max(0.0, deferral(slot)) + time_eps(frontier),
+        "cascade exceeded a slot's deferral slack");
+    best.shifts.push_back(SlotShift{j, slot.edge,
+                                    slot.earliest_start + delta,
+                                    slot.start + delta,
+                                    slot.finish + delta});
+    frontier = slot.finish + delta;
+  }
+  return best;
+}
+
+void commit_optimal(LinkTimeline& timeline, const OptimalPlacement& result,
+                    dag::EdgeId edge) {
+  for (const SlotShift& shift : result.shifts) {
+    timeline.shift_slot(shift.position, shift.new_earliest_start,
+                        shift.new_start, shift.new_finish);
+  }
+  timeline.commit(result.placement, edge);
+}
+
+}  // namespace edgesched::timeline

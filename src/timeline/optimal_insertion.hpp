@@ -1,0 +1,59 @@
+// OIHSA's optimal insertion (§4.4).
+//
+// Unlike first-fit, already-scheduled edges may be *deferred* within the
+// slack their own route grants them (Lemma 2): an edge stalled on link L
+// whose next route link starts later than necessary can slide towards that
+// start without violating link causality, enlarging an idle interval. The
+// tail-to-head `accum` scan (formula (2)) computes, for every occupied
+// slot, the largest accumulated deferral available behind it; insertion
+// before a slot is feasible iff the candidate finish fits into the gap
+// plus that slack (formula (3)). Theorem 1: the head-most feasible
+// position yields the earliest possible start.
+//
+// Deferral slack depends on where each occupant edge sits on its *next*
+// route link, which only the scheduler knows — callers supply it through
+// `DeferralFn`.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "timeline/link_timeline.hpp"
+
+namespace edgesched::timeline {
+
+/// Returns the longest time the given occupied slot may be deferred on
+/// this link without violating link causality towards the occupant's next
+/// route link (0 if this is the occupant's last link).
+using DeferralFn = std::function<double(const TimeSlot&)>;
+
+/// One slot displaced by an optimal insertion, with its post-shift times.
+struct SlotShift {
+  std::size_t position = 0;  ///< index *before* the new slot is inserted
+  dag::EdgeId edge;          ///< occupant that moved
+  double new_earliest_start = 0.0;
+  double new_start = 0.0;
+  double new_finish = 0.0;
+};
+
+/// Outcome of an optimal-insertion probe.
+struct OptimalPlacement {
+  Placement placement;
+  std::vector<SlotShift> shifts;  ///< displaced slots, head to tail
+};
+
+/// Probes the optimal insertion of an edge with the given incoming state.
+/// Does not mutate the timeline. The result's shifts are expressed against
+/// the current slot indices.
+[[nodiscard]] OptimalPlacement probe_optimal(const LinkTimeline& timeline,
+                                             double t_es_in, double t_f_min,
+                                             double duration,
+                                             const DeferralFn& deferral);
+
+/// Applies a probed optimal placement: shifts the displaced slots, then
+/// inserts the new slot. The placement must have been probed against the
+/// current timeline state.
+void commit_optimal(LinkTimeline& timeline, const OptimalPlacement& result,
+                    dag::EdgeId edge);
+
+}  // namespace edgesched::timeline

@@ -1,0 +1,60 @@
+#include "timeline/processor_timeline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "timeline/tolerance.hpp"
+
+namespace edgesched::timeline {
+
+double ProcessorTimeline::earliest_start(double ready_time,
+                                         double duration) const {
+  EDGESCHED_ASSERT_MSG(duration >= 0.0, "task duration must be >= 0");
+  double gap_start = 0.0;
+  for (std::size_t i = 0; i <= slots_.size(); ++i) {
+    const double gap_end = (i < slots_.size())
+                               ? slots_[i].start
+                               : std::numeric_limits<double>::infinity();
+    const double start = std::max(gap_start, ready_time);
+    if (start + duration <= gap_end + time_eps(gap_end)) {
+      return start;
+    }
+    if (i < slots_.size()) {
+      gap_start = slots_[i].finish;
+    }
+  }
+  EDGESCHED_ASSERT_MSG(false, "unreachable: open tail always admits task");
+  return 0.0;
+}
+
+void ProcessorTimeline::commit(dag::TaskId task, double start,
+                               double duration) {
+  const double finish = start + duration;
+  // upper_bound, not lower_bound: a zero-length slot sharing this start
+  // (a dummy entry/exit task) sorts before the new slot and then passes
+  // the predecessor check below instead of tripping the successor one.
+  const auto insert_at = std::upper_bound(
+      slots_.begin(), slots_.end(), start,
+      [](double value, const TaskSlot& slot) { return value < slot.start; });
+  // Placement must not overlap its neighbours.
+  if (insert_at != slots_.begin()) {
+    EDGESCHED_ASSERT_MSG(
+        std::prev(insert_at)->finish <= start + time_eps(start),
+                         "task overlaps its predecessor on the processor");
+  }
+  if (insert_at != slots_.end()) {
+    EDGESCHED_ASSERT_MSG(finish <= insert_at->start + time_eps(finish),
+                         "task overlaps its successor on the processor");
+  }
+  slots_.insert(insert_at, TaskSlot{start, finish, task});
+}
+
+double ProcessorTimeline::busy_time() const noexcept {
+  double busy = 0.0;
+  for (const TaskSlot& slot : slots_) {
+    busy += slot.finish - slot.start;
+  }
+  return busy;
+}
+
+}  // namespace edgesched::timeline

@@ -1,0 +1,45 @@
+// Processor timeline: non-preemptive task execution slots with an
+// insertion-based placement policy (a task may fill an idle gap between
+// already-scheduled tasks when it fits entirely).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "util/error.hpp"
+
+namespace edgesched::timeline {
+
+/// One task execution interval on a processor.
+struct TaskSlot {
+  double start = 0.0;
+  double finish = 0.0;
+  dag::TaskId task;
+};
+
+class ProcessorTimeline {
+ public:
+  /// Earliest start >= ready_time such that [start, start + duration] fits
+  /// into an idle interval (insertion policy).
+  [[nodiscard]] double earliest_start(double ready_time,
+                                      double duration) const;
+
+  /// Books the task at the given start; `start` must come from
+  /// `earliest_start` against the current state.
+  void commit(dag::TaskId task, double start, double duration);
+
+  [[nodiscard]] const std::vector<TaskSlot>& slots() const noexcept {
+    return slots_;
+  }
+  /// Finish time of the last task; 0 when idle. This is t_f(P).
+  [[nodiscard]] double last_finish() const noexcept {
+    return slots_.empty() ? 0.0 : slots_.back().finish;
+  }
+  [[nodiscard]] double busy_time() const noexcept;
+
+ private:
+  std::vector<TaskSlot> slots_;  ///< sorted by start, pairwise disjoint
+};
+
+}  // namespace edgesched::timeline

@@ -1,0 +1,30 @@
+// Time-slot primitives shared by the exclusive link timelines and the
+// processor timelines.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/task_graph.hpp"
+
+namespace edgesched::timeline {
+
+/// One occupied interval on an exclusive link timeline. The slot occupies
+/// [start, finish]; `earliest_start` records t_es — when the edge *could*
+/// have started on this link — which bounds how far the slot may later be
+/// deferred (OIHSA, §4.4).
+struct TimeSlot {
+  double earliest_start = 0.0;  ///< t_es(e, L)
+  double start = 0.0;           ///< t_s(e, L), virtual start
+  double finish = 0.0;          ///< t_f(e, L)
+  dag::EdgeId edge;             ///< occupant
+};
+
+/// A tentative (uncommitted) placement of an edge on one link.
+struct Placement {
+  double earliest_start = 0.0;  ///< t_es(e, L)
+  double start = 0.0;           ///< t_s(e, L); slot is [start, finish]
+  double finish = 0.0;          ///< t_f(e, L)
+  std::size_t position = 0;     ///< slot index the new slot is inserted at
+};
+
+}  // namespace edgesched::timeline

@@ -1,0 +1,19 @@
+// Time comparison tolerance.
+//
+// Schedule times grow with the workload (makespans reach 1e7 at paper
+// scale), so a fixed absolute epsilon either rejects 1-ulp rounding noise
+// at large magnitudes or masks real bugs at small ones. All timeline
+// invariants compare with a tolerance relative to the operand magnitude.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgesched::timeline {
+
+/// Absolute tolerance appropriate for times of the given magnitude.
+[[nodiscard]] inline double time_eps(double magnitude) noexcept {
+  return 1e-9 * std::max(1.0, std::abs(magnitude));
+}
+
+}  // namespace edgesched::timeline

@@ -1,0 +1,18 @@
+// Environment-variable configuration helpers for benchmark scaling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace edgesched {
+
+/// Reads an integer environment variable; returns `fallback` when unset or
+/// unparsable.
+[[nodiscard]] std::int64_t env_int(const std::string& name,
+                                   std::int64_t fallback);
+
+/// Reads a boolean environment variable ("1"/"true"/"yes" case-insensitive
+/// are truthy); returns `fallback` when unset.
+[[nodiscard]] bool env_flag(const std::string& name, bool fallback);
+
+}  // namespace edgesched

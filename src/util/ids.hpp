@@ -1,0 +1,63 @@
+// Strong identifier types.
+//
+// Task, processor, network-node and link identifiers are all small dense
+// integers, but mixing them up is a whole class of silent bugs in a
+// scheduler (a task index used to subscript a link table compiles fine).
+// `StrongId` gives each domain its own non-convertible type while staying
+// a trivially copyable value usable as a vector index.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace edgesched {
+
+/// A type-safe wrapper around a dense 32-bit index.
+///
+/// `Tag` is a phantom type that distinguishes id families at compile time.
+/// The default-constructed id is invalid; valid ids are created from an
+/// explicit index. Ids order and hash like their underlying integer so
+/// they can key sorted and unordered containers.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr StrongId() noexcept = default;
+  constexpr explicit StrongId(underlying_type value) noexcept
+      : value_(value) {}
+  constexpr explicit StrongId(std::size_t value) noexcept
+      : value_(static_cast<underlying_type>(value)) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept {
+    return value_;
+  }
+  /// Index form for subscripting dense per-id tables.
+  [[nodiscard]] constexpr std::size_t index() const noexcept {
+    return static_cast<std::size_t>(value_);
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) noexcept = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+}  // namespace edgesched
+
+template <typename Tag>
+struct std::hash<edgesched::StrongId<Tag>> {
+  std::size_t operator()(edgesched::StrongId<Tag> id) const noexcept {
+    return std::hash<typename edgesched::StrongId<Tag>::underlying_type>{}(
+        id.value());
+  }
+};

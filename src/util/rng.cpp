@@ -1,0 +1,71 @@
+#include "util/rng.hpp"
+
+#include <bit>
+
+namespace edgesched {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+Rng::result_type Rng::next() noexcept {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  throw_if(lo > hi, "Rng::uniform_int: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  // Rejection sampling: accept only values below the largest multiple of
+  // `span`, so the modulo is unbiased.
+  const std::uint64_t limit = max() - (max() % span + 1) % span;
+  std::uint64_t value = next();
+  while (value > limit) {
+    value = next();
+  }
+  return lo + static_cast<std::int64_t>(value % span);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  throw_if(lo > hi, "Rng::uniform_real: lo > hi");
+  // 53 top bits give a uniform double in [0, 1).
+  const double unit =
+      static_cast<double>(next() >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+bool Rng::bernoulli(double p) {
+  throw_if(p < 0.0 || p > 1.0, "Rng::bernoulli: p outside [0, 1]");
+  return uniform_real(0.0, 1.0) < p;
+}
+
+std::size_t Rng::index(std::size_t size) {
+  throw_if(size == 0, "Rng::index: empty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+Rng Rng::fork() noexcept { return Rng(next()); }
+
+}  // namespace edgesched

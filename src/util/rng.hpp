@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of the library (graph generators, topology
+// builders, workload sampling) draw from this generator so that a single
+// 64-bit seed reproduces an entire experiment bit-for-bit across
+// platforms. `std::mt19937` plus `std::uniform_int_distribution` is not
+// portable across standard libraries, so we ship our own xoshiro256**
+// engine and distribution helpers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace edgesched {
+
+/// xoshiro256** by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+/// Seeded through splitmix64 so that nearby seeds yield unrelated streams.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  result_type next() noexcept;
+
+  // UniformRandomBitGenerator interface, so <algorithm> shuffles work too.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in the closed range [lo, hi]. Matches the paper's
+  /// U(i, j) notation. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in the half-open range [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Uniformly chosen index in [0, size). Requires size > 0.
+  [[nodiscard]] std::size_t index(std::size_t size);
+
+  /// Fisher–Yates shuffle of a vector, in place.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      using std::swap;
+      swap(values[i - 1], values[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// repetition of an experiment its own stream.
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// splitmix64 step, exposed for seeding schemes and hashing needs.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace edgesched

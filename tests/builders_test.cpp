@@ -1,0 +1,217 @@
+#include "net/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace edgesched::net {
+namespace {
+
+SpeedConfig homogeneous() { return SpeedConfig{}; }
+
+SpeedConfig heterogeneous() {
+  SpeedConfig s;
+  s.heterogeneous = true;
+  return s;
+}
+
+TEST(FullyConnected, Structure) {
+  Rng rng(1);
+  const Topology t = fully_connected(4, homogeneous(), rng);
+  EXPECT_EQ(t.num_processors(), 4u);
+  EXPECT_EQ(t.num_nodes(), 4u);
+  EXPECT_EQ(t.num_links(), 12u);  // 6 pairs x 2 directions
+  EXPECT_TRUE(t.processors_connected());
+}
+
+TEST(SwitchedStar, Structure) {
+  Rng rng(1);
+  const Topology t = switched_star(5, homogeneous(), rng);
+  EXPECT_EQ(t.num_processors(), 5u);
+  EXPECT_EQ(t.num_nodes(), 6u);
+  EXPECT_EQ(t.num_links(), 10u);
+  EXPECT_TRUE(t.processors_connected());
+}
+
+TEST(Ring, Structure) {
+  Rng rng(1);
+  const Topology t = ring(6, homogeneous(), rng);
+  EXPECT_EQ(t.num_links(), 12u);
+  EXPECT_TRUE(t.processors_connected());
+  for (NodeId p : t.processors()) {
+    EXPECT_EQ(t.out_links(p).size(), 2u);
+    EXPECT_EQ(t.in_links(p).size(), 2u);
+  }
+}
+
+TEST(Mesh2d, Structure) {
+  Rng rng(1);
+  const Topology t = mesh2d(3, 4, homogeneous(), rng);
+  EXPECT_EQ(t.num_processors(), 12u);
+  // Horizontal: 3*3, vertical: 2*4, duplex.
+  EXPECT_EQ(t.num_links(), 2u * (9 + 8));
+  EXPECT_TRUE(t.processors_connected());
+}
+
+TEST(Torus2d, WrapsAround) {
+  Rng rng(1);
+  const Topology t = torus2d(3, 3, homogeneous(), rng);
+  EXPECT_TRUE(t.processors_connected());
+  // Every node in a 3x3 torus has degree 4.
+  for (NodeId p : t.processors()) {
+    EXPECT_EQ(t.out_links(p).size(), 4u);
+  }
+}
+
+TEST(Hypercube, Structure) {
+  Rng rng(1);
+  const Topology t = hypercube(3, homogeneous(), rng);
+  EXPECT_EQ(t.num_processors(), 8u);
+  EXPECT_EQ(t.num_links(), 2u * 12u);  // 8*3/2 edges, duplex
+  EXPECT_TRUE(t.processors_connected());
+  for (NodeId p : t.processors()) {
+    EXPECT_EQ(t.out_links(p).size(), 3u);
+  }
+}
+
+TEST(FatTree, Structure) {
+  Rng rng(1);
+  const Topology t = fat_tree(3, 4, homogeneous(), rng);
+  EXPECT_EQ(t.num_processors(), 12u);
+  EXPECT_EQ(t.num_nodes(), 16u);  // 12 procs + 3 leaves + core
+  EXPECT_TRUE(t.processors_connected());
+}
+
+TEST(Bus, SingleDomain) {
+  Rng rng(1);
+  const Topology t = bus(4, homogeneous(), rng);
+  EXPECT_EQ(t.num_domains(), 1u);
+  EXPECT_EQ(t.num_links(), 12u);
+  EXPECT_TRUE(t.processors_connected());
+}
+
+TEST(Builders, HeterogeneousSpeedsInPaperRange) {
+  Rng rng(99);
+  const Topology t = fully_connected(6, heterogeneous(), rng);
+  std::set<double> speeds;
+  for (NodeId p : t.processors()) {
+    const double s = t.processor_speed(p);
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 10.0);
+    speeds.insert(s);
+  }
+  for (LinkId l : t.all_links()) {
+    EXPECT_GE(t.link_speed(l), 1.0);
+    EXPECT_LE(t.link_speed(l), 10.0);
+  }
+}
+
+TEST(Builders, HomogeneousSpeedsAllOne) {
+  Rng rng(3);
+  const Topology t = switched_star(8, homogeneous(), rng);
+  for (NodeId p : t.processors()) {
+    EXPECT_DOUBLE_EQ(t.processor_speed(p), 1.0);
+  }
+  for (LinkId l : t.all_links()) {
+    EXPECT_DOUBLE_EQ(t.link_speed(l), 1.0);
+  }
+}
+
+TEST(Dragonfly, Structure) {
+  Rng rng(1);
+  const Topology t = dragonfly(3, 2, 2, homogeneous(), rng);
+  EXPECT_EQ(t.num_processors(), 12u);
+  EXPECT_TRUE(t.processors_connected());
+  // Switches: 6; links: 12 proc attachments + 3 intra-group meshes (1
+  // cable each) + 3 global cables, all duplex.
+  EXPECT_EQ(t.num_nodes(), 18u);
+  EXPECT_EQ(t.num_links(), 2u * (12 + 3 + 3));
+  EXPECT_THROW((void)dragonfly(0, 2, 2, homogeneous(), rng),
+               std::invalid_argument);
+}
+
+TEST(SwitchTree, Structure) {
+  Rng rng(1);
+  const Topology t = switch_tree(3, 2, 2, homogeneous(), rng);
+  // Switches: 1 + 2 + 4 = 7; processors: 4 leaves x 2 = 8.
+  EXPECT_EQ(t.num_processors(), 8u);
+  EXPECT_EQ(t.num_nodes(), 15u);
+  EXPECT_TRUE(t.processors_connected());
+  EXPECT_THROW((void)switch_tree(9, 2, 2, homogeneous(), rng),
+               std::invalid_argument);
+}
+
+TEST(SwitchTree, SingleLevelIsStar) {
+  Rng rng(1);
+  const Topology t = switch_tree(1, 4, 5, homogeneous(), rng);
+  EXPECT_EQ(t.num_processors(), 5u);
+  EXPECT_EQ(t.num_nodes(), 6u);
+}
+
+class RandomWanTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(RandomWanTest, Invariants) {
+  const auto [procs, seed] = GetParam();
+  Rng rng(seed);
+  RandomWanParams params;
+  params.num_processors = procs;
+  const Topology t = random_wan(params, rng);
+  EXPECT_EQ(t.num_processors(), procs);
+  EXPECT_TRUE(t.processors_connected());
+  // Every processor hangs off exactly one switch.
+  for (NodeId p : t.processors()) {
+    ASSERT_EQ(t.out_links(p).size(), 1u);
+    const NodeId neighbour = t.link(t.out_links(p).front()).dst;
+    EXPECT_FALSE(t.is_processor(neighbour));
+  }
+  // Switch fan-out respects U(4, 16) except possibly the last switch.
+  std::size_t switches = 0;
+  for (NodeId n : t.all_nodes()) {
+    if (!t.is_processor(n)) {
+      ++switches;
+    }
+  }
+  EXPECT_GE(switches, (procs + 15) / 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RandomWanTest,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u, 16u, 32u, 64u, 128u),
+                       ::testing::Values(1u, 7u)));
+
+TEST(RandomWan, DeterministicForSeed) {
+  RandomWanParams params;
+  params.num_processors = 20;
+  Rng rng1(5);
+  Rng rng2(5);
+  const Topology a = random_wan(params, rng1);
+  const Topology b = random_wan(params, rng2);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (LinkId l : a.all_links()) {
+    EXPECT_EQ(a.link(l).src, b.link(l).src);
+    EXPECT_EQ(a.link(l).dst, b.link(l).dst);
+  }
+}
+
+TEST(Builders, RejectBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW((void)fully_connected(0, homogeneous(), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)ring(1, homogeneous(), rng), std::invalid_argument);
+  EXPECT_THROW((void)mesh2d(0, 3, homogeneous(), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)torus2d(1, 3, homogeneous(), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)hypercube(0, homogeneous(), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)bus(1, homogeneous(), rng), std::invalid_argument);
+  RandomWanParams bad;
+  bad.num_processors = 0;
+  EXPECT_THROW((void)random_wan(bad, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgesched::net

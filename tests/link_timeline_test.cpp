@@ -1,0 +1,126 @@
+#include "timeline/link_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace edgesched::timeline {
+namespace {
+
+dag::EdgeId edge(std::size_t i) { return dag::EdgeId(i); }
+
+TEST(LinkTimeline, EmptyTimelinePlacesAtEarliestStart) {
+  LinkTimeline tl;
+  const Placement p = tl.probe_basic(5.0, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(p.earliest_start, 5.0);
+  EXPECT_DOUBLE_EQ(p.start, 5.0);
+  EXPECT_DOUBLE_EQ(p.finish, 7.0);
+  EXPECT_EQ(p.position, 0u);
+}
+
+TEST(LinkTimeline, MinFinishStretchesVirtualStart) {
+  LinkTimeline tl;
+  // Previous hop finishes at 10; this hop only needs 2 time units, so it
+  // occupies [8, 10] (virtual start, §2.2).
+  const Placement p = tl.probe_basic(1.0, 10.0, 2.0);
+  EXPECT_DOUBLE_EQ(p.earliest_start, 1.0);
+  EXPECT_DOUBLE_EQ(p.start, 8.0);
+  EXPECT_DOUBLE_EQ(p.finish, 10.0);
+}
+
+TEST(LinkTimeline, CommitKeepsSlotsSorted) {
+  LinkTimeline tl;
+  const Placement late = tl.probe_basic(10.0, 0.0, 2.0);
+  tl.commit(late, edge(0));
+  const Placement early = tl.probe_basic(0.0, 0.0, 2.0);
+  tl.commit(early, edge(1));
+  ASSERT_EQ(tl.size(), 2u);
+  EXPECT_DOUBLE_EQ(tl.slots()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(tl.slots()[1].start, 10.0);
+  EXPECT_EQ(tl.slots()[0].edge, edge(1));
+}
+
+TEST(LinkTimeline, FillsGapBetweenSlots) {
+  LinkTimeline tl;
+  tl.commit(tl.probe_basic(0.0, 0.0, 2.0), edge(0));    // [0, 2]
+  tl.commit(tl.probe_basic(10.0, 0.0, 2.0), edge(1));   // [10, 12]
+  const Placement mid = tl.probe_basic(0.0, 0.0, 5.0);  // fits in [2, 10]
+  EXPECT_DOUBLE_EQ(mid.start, 2.0);
+  EXPECT_DOUBLE_EQ(mid.finish, 7.0);
+  EXPECT_EQ(mid.position, 1u);
+}
+
+TEST(LinkTimeline, SkipsTooSmallGap) {
+  LinkTimeline tl;
+  tl.commit(tl.probe_basic(0.0, 0.0, 2.0), edge(0));   // [0, 2]
+  tl.commit(tl.probe_basic(3.0, 0.0, 2.0), edge(1));   // [3, 5]
+  const Placement p = tl.probe_basic(0.0, 0.0, 2.0);   // gap [2,3] too small
+  EXPECT_DOUBLE_EQ(p.start, 5.0);
+  EXPECT_EQ(p.position, 2u);
+}
+
+TEST(LinkTimeline, GapMustCoverMinFinishToo) {
+  LinkTimeline tl;
+  tl.commit(tl.probe_basic(0.0, 0.0, 2.0), edge(0));   // [0, 2]
+  tl.commit(tl.probe_basic(8.0, 0.0, 4.0), edge(1));   // [8, 12]
+  // Duration 2 fits in [2, 8], but the previous hop only finishes at 9, so
+  // the slot would be [7, 9], overlapping; must go after [8, 12].
+  const Placement p = tl.probe_basic(0.0, 9.0, 2.0);
+  EXPECT_DOUBLE_EQ(p.finish, 14.0);
+  EXPECT_DOUBLE_EQ(p.start, 12.0);
+  EXPECT_EQ(p.position, 2u);
+}
+
+TEST(LinkTimeline, ExactFitGapIsUsed) {
+  LinkTimeline tl;
+  tl.commit(tl.probe_basic(0.0, 0.0, 2.0), edge(0));  // [0, 2]
+  tl.commit(tl.probe_basic(5.0, 0.0, 2.0), edge(1));  // [5, 7]
+  const Placement p = tl.probe_basic(0.0, 0.0, 3.0);  // exactly [2, 5]
+  EXPECT_DOUBLE_EQ(p.start, 2.0);
+  EXPECT_DOUBLE_EQ(p.finish, 5.0);
+}
+
+TEST(LinkTimeline, BusyTimeAndLastFinish) {
+  LinkTimeline tl;
+  EXPECT_DOUBLE_EQ(tl.last_finish(), 0.0);
+  tl.commit(tl.probe_basic(0.0, 0.0, 2.0), edge(0));
+  tl.commit(tl.probe_basic(5.0, 0.0, 3.0), edge(1));
+  EXPECT_DOUBLE_EQ(tl.busy_time(), 5.0);
+  EXPECT_DOUBLE_EQ(tl.last_finish(), 8.0);
+}
+
+TEST(LinkTimeline, EraseRemovesSlot) {
+  LinkTimeline tl;
+  tl.commit(tl.probe_basic(0.0, 0.0, 2.0), edge(0));
+  tl.commit(tl.probe_basic(5.0, 0.0, 3.0), edge(1));
+  tl.erase(0);
+  ASSERT_EQ(tl.size(), 1u);
+  EXPECT_EQ(tl.slots()[0].edge, edge(1));
+}
+
+TEST(LinkTimeline, ShiftSlotDefersOnly) {
+  LinkTimeline tl;
+  tl.commit(tl.probe_basic(0.0, 0.0, 2.0), edge(0));
+  tl.shift_slot(0, 1.0, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(tl.slots()[0].start, 1.0);
+  EXPECT_THROW(tl.shift_slot(0, 0.0, 0.0, 2.0), InternalError);
+}
+
+TEST(LinkTimeline, InvariantCheckerCatchesOverlap) {
+  LinkTimeline tl;
+  tl.commit(tl.probe_basic(0.0, 0.0, 2.0), edge(0));
+  tl.commit(tl.probe_basic(5.0, 0.0, 2.0), edge(1));
+  tl.shift_slot(0, 0.0, 4.0, 6.0);  // now overlaps [5, 7]
+  EXPECT_THROW(tl.check_invariants(), InternalError);
+}
+
+TEST(LinkTimeline, ManySequentialCommitsStaySorted) {
+  LinkTimeline tl;
+  for (std::size_t i = 0; i < 50; ++i) {
+    tl.commit(tl.probe_basic(0.0, 0.0, 1.0), edge(i));
+  }
+  EXPECT_EQ(tl.size(), 50u);
+  EXPECT_DOUBLE_EQ(tl.last_finish(), 50.0);
+  tl.check_invariants();
+}
+
+}  // namespace
+}  // namespace edgesched::timeline

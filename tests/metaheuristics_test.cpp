@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "dag/properties.hpp"
+#include "net/builders.hpp"
+#include "sched/annealing.hpp"
+#include "sched/genetic.hpp"
+#include "sched/oihsa.hpp"
+#include "sched/validator.hpp"
+
+namespace edgesched::sched {
+namespace {
+
+struct Instance {
+  dag::TaskGraph graph;
+  net::Topology topo;
+};
+
+Instance make(std::uint64_t seed) {
+  Rng rng(seed);
+  dag::LayeredDagParams params;
+  params.num_tasks = 20;
+  Instance inst{dag::random_layered(params, rng), net::Topology{}};
+  dag::rescale_to_ccr(inst.graph, 2.0);
+  net::RandomWanParams wan;
+  wan.num_processors = 4;
+  inst.topo = net::random_wan(wan, rng);
+  return inst;
+}
+
+GeneticScheduler::Options small_ga() {
+  GeneticScheduler::Options options;
+  options.population = 8;
+  options.generations = 6;
+  return options;
+}
+
+AnnealingScheduler::Options small_sa() {
+  AnnealingScheduler::Options options;
+  options.iterations = 60;
+  return options;
+}
+
+TEST(Genetic, ProducesValidSchedules) {
+  const Instance inst = make(1);
+  const Schedule s =
+      GeneticScheduler(small_ga()).schedule(inst.graph, inst.topo);
+  validate_or_throw(inst.graph, inst.topo, s);
+  EXPECT_EQ(s.algorithm(), "GA");
+}
+
+TEST(Genetic, NeverWorseThanItsSeeds) {
+  // The initial population contains the OIHSA assignment and the search
+  // is elitist, so the result cannot be worse than OIHSA's assignment
+  // re-evaluated by the fixed-assignment scheduler.
+  const Instance inst = make(2);
+  const double seed_cost = assignment_makespan(
+      inst.graph, inst.topo,
+      assignment_of(inst.graph, Oihsa{}.schedule(inst.graph, inst.topo)));
+  const Schedule s =
+      GeneticScheduler(small_ga()).schedule(inst.graph, inst.topo);
+  EXPECT_LE(s.makespan(), seed_cost + 1e-6);
+}
+
+TEST(Genetic, DeterministicForSeed) {
+  const Instance inst = make(3);
+  const GeneticScheduler ga(small_ga());
+  EXPECT_DOUBLE_EQ(ga.schedule(inst.graph, inst.topo).makespan(),
+                   ga.schedule(inst.graph, inst.topo).makespan());
+}
+
+TEST(Genetic, RejectsBadOptions) {
+  GeneticScheduler::Options bad;
+  bad.population = 2;
+  EXPECT_THROW(GeneticScheduler{bad}, std::invalid_argument);
+  bad = GeneticScheduler::Options{};
+  bad.mutation_rate = 1.5;
+  EXPECT_THROW(GeneticScheduler{bad}, std::invalid_argument);
+  bad = GeneticScheduler::Options{};
+  bad.tournament = 0;
+  EXPECT_THROW(GeneticScheduler{bad}, std::invalid_argument);
+}
+
+TEST(Annealing, ProducesValidSchedules) {
+  const Instance inst = make(4);
+  const Schedule s =
+      AnnealingScheduler(small_sa()).schedule(inst.graph, inst.topo);
+  validate_or_throw(inst.graph, inst.topo, s);
+  EXPECT_EQ(s.algorithm(), "SA");
+}
+
+TEST(Annealing, NeverWorseThanItsStart) {
+  const Instance inst = make(5);
+  const double start_cost = assignment_makespan(
+      inst.graph, inst.topo,
+      assignment_of(inst.graph, Oihsa{}.schedule(inst.graph, inst.topo)));
+  const Schedule s =
+      AnnealingScheduler(small_sa()).schedule(inst.graph, inst.topo);
+  EXPECT_LE(s.makespan(), start_cost + 1e-6);
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  const Instance inst = make(6);
+  const AnnealingScheduler sa(small_sa());
+  EXPECT_DOUBLE_EQ(sa.schedule(inst.graph, inst.topo).makespan(),
+                   sa.schedule(inst.graph, inst.topo).makespan());
+}
+
+TEST(Annealing, RejectsBadOptions) {
+  AnnealingScheduler::Options bad;
+  bad.iterations = 0;
+  EXPECT_THROW(AnnealingScheduler{bad}, std::invalid_argument);
+  bad = AnnealingScheduler::Options{};
+  bad.cooling = 1.0;
+  EXPECT_THROW(AnnealingScheduler{bad}, std::invalid_argument);
+}
+
+TEST(Metaheuristics, SearchImprovesOnRandomAssignments) {
+  // Sanity: on a contended instance the GA result beats the mean random
+  // assignment comfortably.
+  const Instance inst = make(7);
+  Rng rng(7);
+  double random_total = 0.0;
+  const auto& procs = inst.topo.processors();
+  for (int k = 0; k < 5; ++k) {
+    Assignment random_assignment(inst.graph.num_tasks());
+    for (auto& gene : random_assignment) {
+      gene = procs[rng.index(procs.size())];
+    }
+    random_total +=
+        assignment_makespan(inst.graph, inst.topo, random_assignment);
+  }
+  const Schedule s =
+      GeneticScheduler(small_ga()).schedule(inst.graph, inst.topo);
+  EXPECT_LT(s.makespan(), random_total / 5.0);
+}
+
+}  // namespace
+}  // namespace edgesched::sched

@@ -1,0 +1,211 @@
+// Tests of the scheduling-model option knobs documented in DESIGN.md §6:
+// communication departure time, task placement policy, BA's processor
+// selection mode, and OIHSA's estimate variant. Each knob must keep
+// schedules valid, and the relationships the model implies must hold.
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "dag/properties.hpp"
+#include "net/builders.hpp"
+#include "sched/ba.hpp"
+#include "sched/assignment.hpp"
+#include "sched/bbsa.hpp"
+#include "sched/oihsa.hpp"
+#include "sched/validator.hpp"
+
+namespace edgesched::sched {
+namespace {
+
+struct Instance {
+  dag::TaskGraph graph;
+  net::Topology topo;
+};
+
+Instance make(std::uint64_t seed, double ccr = 3.0) {
+  Rng rng(seed);
+  dag::LayeredDagParams params;
+  params.num_tasks = 30;
+  Instance inst{dag::random_layered(params, rng), net::Topology{}};
+  dag::rescale_to_ccr(inst.graph, ccr);
+  net::RandomWanParams wan;
+  wan.num_processors = 6;
+  inst.topo = net::random_wan(wan, rng);
+  return inst;
+}
+
+TEST(ModelSemantics, EveryKnobKeepsBaValid) {
+  const Instance inst = make(1);
+  for (auto selection : {BaProcessorSelection::kReadyTimeEft,
+                         BaProcessorSelection::kTentativeEft}) {
+    for (bool eager : {false, true}) {
+      for (bool insertion : {false, true}) {
+        BasicAlgorithm::Options options;
+        options.selection = selection;
+        options.eager_communication = eager;
+        options.task_insertion = insertion;
+        const Schedule s =
+            BasicAlgorithm(options).schedule(inst.graph, inst.topo);
+        validate_or_throw(inst.graph, inst.topo, s);
+      }
+    }
+  }
+}
+
+TEST(ModelSemantics, EveryKnobKeepsOihsaValid) {
+  const Instance inst = make(2);
+  for (bool eager : {false, true}) {
+    for (bool insertion : {false, true}) {
+      for (bool estimate : {false, true}) {
+        Oihsa::Options options;
+        options.eager_communication = eager;
+        options.task_insertion = insertion;
+        options.insertion_aware_estimate = estimate;
+        const Schedule s =
+            Oihsa(options).schedule(inst.graph, inst.topo);
+        validate_or_throw(inst.graph, inst.topo, s);
+      }
+    }
+  }
+}
+
+TEST(ModelSemantics, EveryKnobKeepsBbsaValid) {
+  const Instance inst = make(3);
+  for (bool eager : {false, true}) {
+    for (bool insertion : {false, true}) {
+      Bbsa::Options options;
+      options.eager_communication = eager;
+      options.task_insertion = insertion;
+      const Schedule s = Bbsa(options).schedule(inst.graph, inst.topo);
+      validate_or_throw(inst.graph, inst.topo, s);
+    }
+  }
+}
+
+TEST(ModelSemantics, EagerShippingNeverLater) {
+  // Per edge: shipping at the source's finish can only start transfers
+  // earlier than waiting for the ready moment, so on average across
+  // seeds eager makespans should not be (much) worse. We assert the mean
+  // relationship, not per instance.
+  double ready_total = 0.0;
+  double eager_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = make(seed, 5.0);
+    Oihsa::Options ready;
+    Oihsa::Options eager;
+    eager.eager_communication = true;
+    ready_total +=
+        Oihsa(ready).schedule(inst.graph, inst.topo).makespan();
+    eager_total +=
+        Oihsa(eager).schedule(inst.graph, inst.topo).makespan();
+  }
+  EXPECT_LE(eager_total, ready_total * 1.05);
+}
+
+TEST(ModelSemantics, TentativeBaIsStrongerThanBlindBa) {
+  // Sinnen's tentative evaluation sees actual contention; it must beat
+  // the communication-blind selection on contended instances on average.
+  double blind_total = 0.0;
+  double tentative_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Instance inst = make(seed, 5.0);
+    BasicAlgorithm::Options tentative;
+    tentative.selection = BaProcessorSelection::kTentativeEft;
+    blind_total +=
+        BasicAlgorithm{}.schedule(inst.graph, inst.topo).makespan();
+    tentative_total += BasicAlgorithm(tentative)
+                           .schedule(inst.graph, inst.topo)
+                           .makespan();
+  }
+  EXPECT_LT(tentative_total, blind_total);
+}
+
+TEST(ModelSemantics, AppendPlacementNeverOverlapsAndOrdersByCommit) {
+  const Instance inst = make(4);
+  Oihsa::Options append;
+  append.task_insertion = false;
+  const Schedule s = Oihsa(append).schedule(inst.graph, inst.topo);
+  validate_or_throw(inst.graph, inst.topo, s);
+}
+
+TEST(ModelSemantics, HopDelayDelaysMultiHopTransfers) {
+  // Two hops through a switch: with hop delay d the transfer arrives d
+  // later than without (one intermediate station).
+  dag::TaskGraph graph = dag::chain(2, 2.0, 4.0);
+  net::Topology topo;
+  const net::NodeId p0 = topo.add_processor(1.0);
+  const net::NodeId p1 = topo.add_processor(1.0);
+  const net::NodeId sw = topo.add_switch();
+  topo.add_duplex_link(p0, sw, 1.0);
+  topo.add_duplex_link(sw, p1, 1.0);
+  // Pin the tasks apart to force the transfer.
+  const Assignment split{p0, p1};
+
+  const Schedule base = schedule_assignment(graph, topo, split);
+  EXPECT_DOUBLE_EQ(base.makespan(), 8.0);  // ship 2, arrive 6, run 2
+
+  BasicAlgorithm::Options delayed;
+  delayed.hop_delay = 1.5;
+  const Schedule with_delay =
+      BasicAlgorithm(delayed).schedule(graph, topo);
+  validate_or_throw(graph, topo, with_delay);
+  if (with_delay.task(dag::TaskId(0u)).processor !=
+      with_delay.task(dag::TaskId(1u)).processor) {
+    EXPECT_NEAR(with_delay.communication(dag::EdgeId(0u)).arrival, 7.5,
+                1e-9);
+  }
+}
+
+TEST(ModelSemantics, HopDelayKeepsAllSchedulersValid) {
+  const Instance inst = make(6, 2.0);
+  BasicAlgorithm::Options ba;
+  ba.hop_delay = 0.5;
+  Oihsa::Options oihsa;
+  oihsa.hop_delay = 0.5;
+  Bbsa::Options bbsa;
+  bbsa.hop_delay = 0.5;
+  validate_or_throw(inst.graph, inst.topo,
+                    BasicAlgorithm(ba).schedule(inst.graph, inst.topo));
+  validate_or_throw(inst.graph, inst.topo,
+                    Oihsa(oihsa).schedule(inst.graph, inst.topo));
+  validate_or_throw(inst.graph, inst.topo,
+                    Bbsa(bbsa).schedule(inst.graph, inst.topo));
+}
+
+TEST(ModelSemantics, HopDelayNeverSpeedsUp) {
+  double plain_total = 0.0;
+  double delayed_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Instance inst = make(seed, 2.0);
+    Oihsa::Options delayed;
+    delayed.hop_delay = 2.0;
+    plain_total +=
+        Oihsa{}.schedule(inst.graph, inst.topo).makespan();
+    delayed_total +=
+        Oihsa(delayed).schedule(inst.graph, inst.topo).makespan();
+  }
+  EXPECT_GE(delayed_total, plain_total * 0.99);
+}
+
+TEST(ModelSemantics, ReadyMomentDominatesEdgeStart) {
+  // Under the dynamic model every remote transfer starts at or after the
+  // latest predecessor finish of its destination task.
+  const Instance inst = make(5, 5.0);
+  const Schedule s = Oihsa{}.schedule(inst.graph, inst.topo);
+  for (dag::TaskId t : inst.graph.all_tasks()) {
+    double ready_moment = 0.0;
+    for (dag::EdgeId e : inst.graph.in_edges(t)) {
+      ready_moment = std::max(
+          ready_moment, s.task(inst.graph.edge(e).src).finish);
+    }
+    for (dag::EdgeId e : inst.graph.in_edges(t)) {
+      const EdgeCommunication& comm = s.communication(e);
+      if (comm.kind == EdgeCommunication::Kind::kExclusive) {
+        EXPECT_GE(comm.occupations.front().earliest_start,
+                  ready_moment - 1e-6);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edgesched::sched

@@ -1,0 +1,103 @@
+#include "net/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "net/builders.hpp"
+
+namespace edgesched::net {
+namespace {
+
+TEST(HopDistances, LinearChainOfSwitches) {
+  Topology t;
+  const NodeId a = t.add_processor();
+  const NodeId s1 = t.add_switch();
+  const NodeId s2 = t.add_switch();
+  const NodeId b = t.add_processor();
+  t.add_duplex_link(a, s1);
+  t.add_duplex_link(s1, s2);
+  t.add_duplex_link(s2, b);
+  const auto distance = hop_distances(t, a);
+  EXPECT_EQ(distance[a.index()], 0u);
+  EXPECT_EQ(distance[s1.index()], 1u);
+  EXPECT_EQ(distance[s2.index()], 2u);
+  EXPECT_EQ(distance[b.index()], 3u);
+}
+
+TEST(HopDistances, UnreachableIsMax) {
+  Topology t;
+  const NodeId a = t.add_processor();
+  (void)t.add_processor();
+  const auto distance = hop_distances(t, a);
+  EXPECT_EQ(distance[1], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Analyze, FullyConnectedHasDiameterOne) {
+  Rng rng(1);
+  const Topology t = fully_connected(5, SpeedConfig{}, rng);
+  const TopologyStats stats = analyze(t);
+  EXPECT_EQ(stats.num_processors, 5u);
+  EXPECT_EQ(stats.num_switches, 0u);
+  EXPECT_EQ(stats.diameter, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_processor_distance, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_link_speed, 1.0);
+  EXPECT_DOUBLE_EQ(stats.min_link_speed, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_link_speed, 1.0);
+}
+
+TEST(Analyze, StarHasDiameterTwo) {
+  Rng rng(1);
+  const Topology t = switched_star(6, SpeedConfig{}, rng);
+  const TopologyStats stats = analyze(t);
+  EXPECT_EQ(stats.num_switches, 1u);
+  EXPECT_EQ(stats.diameter, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_processor_distance, 2.0);
+}
+
+TEST(Analyze, RingDiameterIsHalf) {
+  Rng rng(1);
+  const Topology t = ring(8, SpeedConfig{}, rng);
+  EXPECT_EQ(analyze(t).diameter, 4u);
+}
+
+TEST(Analyze, HypercubeDiameterIsDimension) {
+  Rng rng(1);
+  const Topology t = hypercube(4, SpeedConfig{}, rng);
+  EXPECT_EQ(analyze(t).diameter, 4u);
+}
+
+TEST(Analyze, HeterogeneousSpeedRange) {
+  Rng rng(5);
+  SpeedConfig speeds;
+  speeds.heterogeneous = true;
+  const Topology t = fully_connected(8, speeds, rng);
+  const TopologyStats stats = analyze(t);
+  EXPECT_GE(stats.min_link_speed, 1.0);
+  EXPECT_LE(stats.max_link_speed, 10.0);
+  EXPECT_GE(stats.mean_link_speed, stats.min_link_speed);
+  EXPECT_LE(stats.mean_link_speed, stats.max_link_speed);
+}
+
+TEST(Analyze, ThrowsOnDisconnectedProcessors) {
+  Topology t;
+  (void)t.add_processor();
+  (void)t.add_processor();
+  EXPECT_THROW((void)analyze(t), std::invalid_argument);
+}
+
+TEST(Analyze, RandomWanStaysCompact) {
+  Rng rng(11);
+  RandomWanParams params;
+  params.num_processors = 64;
+  const Topology t = random_wan(params, rng);
+  const TopologyStats stats = analyze(t);
+  // proc -> switch -> ... -> switch -> proc; the random extra links keep
+  // the switch graph shallow.
+  EXPECT_GE(stats.diameter, 2u);
+  EXPECT_LE(stats.diameter, 12u);
+  EXPECT_EQ(stats.num_processors, 64u);
+}
+
+}  // namespace
+}  // namespace edgesched::net

@@ -1,0 +1,144 @@
+#include "sched/packetized.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "dag/properties.hpp"
+#include "net/builders.hpp"
+#include "sched/ba.hpp"
+#include "sched/validator.hpp"
+
+namespace edgesched::sched {
+namespace {
+
+net::Topology star(std::size_t procs) {
+  Rng rng(1);
+  return net::switched_star(procs, net::SpeedConfig{}, rng);
+}
+
+TEST(PacketizedBa, SingleProcessorSerialises) {
+  const net::Topology topo = star(1);
+  const dag::TaskGraph graph = dag::fork_join(3, 2.0, 5.0);
+  const Schedule s = PacketizedBa{}.schedule(graph, topo);
+  validate_or_throw(graph, topo, s);
+  EXPECT_DOUBLE_EQ(s.makespan(), 10.0);
+}
+
+TEST(PacketizedBa, SplitsBigMessages) {
+  // One forced remote edge of cost 20 with packet size 5 -> 4 packets.
+  const dag::TaskGraph graph = dag::fork(2, 30.0, 20.0);
+  const net::Topology topo = star(2);
+  PacketizedBa::Options options;
+  options.packet_size = 5.0;
+  const Schedule s = PacketizedBa(options).schedule(graph, topo);
+  validate_or_throw(graph, topo, s);
+  bool saw_packets = false;
+  for (dag::EdgeId e : graph.all_edges()) {
+    const EdgeCommunication& comm = s.communication(e);
+    if (comm.kind == EdgeCommunication::Kind::kPacketized) {
+      saw_packets = true;
+      EXPECT_EQ(comm.packet_count, 4u);
+      EXPECT_EQ(comm.occupations.size(), 4u * comm.route.size());
+    }
+  }
+  EXPECT_TRUE(saw_packets);
+}
+
+TEST(PacketizedBa, PacketsPipelineAcrossHops) {
+  // Two hops, one remote message: with store-and-forward circuit
+  // switching the transfer takes 2·c/s; with small packets it pipelines
+  // towards c/s + packet time.
+  dag::TaskGraph graph;
+  // x (highest bottom level) claims the fast processor; a then runs on
+  // the slow one and its edge to b crosses the network.
+  const dag::TaskId x = graph.add_task(100.0, "x");
+  const dag::TaskId a = graph.add_task(1.0, "a");
+  const dag::TaskId b = graph.add_task(50.0, "b");
+  (void)x;
+  const dag::EdgeId a_b = graph.add_edge(a, b, 16.0);
+
+  net::Topology topo;
+  const net::NodeId p0 = topo.add_processor(1.0);
+  const net::NodeId p1 = topo.add_processor(10.0);  // b must move here
+  const net::NodeId sw = topo.add_switch();
+  topo.add_duplex_link(p0, sw, 1.0);
+  topo.add_duplex_link(sw, p1, 1.0);
+
+  PacketizedBa::Options coarse;
+  coarse.packet_size = 16.0;  // single packet = store-and-forward circuit
+  PacketizedBa::Options fine;
+  fine.packet_size = 2.0;  // 8 packets pipeline
+
+  const Schedule s_coarse =
+      PacketizedBa(coarse).schedule(graph, topo);
+  const Schedule s_fine = PacketizedBa(fine).schedule(graph, topo);
+  validate_or_throw(graph, topo, s_coarse);
+  validate_or_throw(graph, topo, s_fine);
+  ASSERT_EQ(s_coarse.task(a).processor, p0);
+  ASSERT_EQ(s_coarse.task(b).processor, p1);
+  ASSERT_EQ(s_fine.task(b).processor, p1);
+  // Coarse: ships at t=1, 16 units per hop store-and-forward:
+  // 1 + 16 + 16 = 33. Fine: last of 8 2-unit packets leaves hop 1 at 17
+  // and crosses hop 2 by 19.
+  EXPECT_NEAR(s_coarse.communication(a_b).arrival, 33.0, 1e-9);
+  EXPECT_NEAR(s_fine.communication(a_b).arrival, 19.0, 1e-9);
+  EXPECT_LT(s_fine.makespan(), s_coarse.makespan());
+}
+
+TEST(PacketizedBa, ValidOnRandomInstances) {
+  for (std::uint64_t seed : {3u, 4u, 5u}) {
+    Rng rng(seed);
+    dag::LayeredDagParams params;
+    params.num_tasks = 30;
+    dag::TaskGraph graph = dag::random_layered(params, rng);
+    dag::rescale_to_ccr(graph, 3.0);
+    net::RandomWanParams wan;
+    wan.num_processors = 6;
+    const net::Topology topo = net::random_wan(wan, rng);
+    for (double packet_size : {50.0, 250.0, 1e9}) {
+      PacketizedBa::Options options;
+      options.packet_size = packet_size;
+      const Schedule s = PacketizedBa(options).schedule(graph, topo);
+      validate_or_throw(graph, topo, s);
+    }
+  }
+}
+
+TEST(PacketizedBa, DeterministicAcrossRuns) {
+  Rng rng(7);
+  dag::LayeredDagParams params;
+  params.num_tasks = 25;
+  const dag::TaskGraph graph = dag::random_layered(params, rng);
+  net::RandomWanParams wan;
+  wan.num_processors = 5;
+  const net::Topology topo = net::random_wan(wan, rng);
+  const Schedule a = PacketizedBa{}.schedule(graph, topo);
+  const Schedule b = PacketizedBa{}.schedule(graph, topo);
+  EXPECT_DOUBLE_EQ(a.makespan(), b.makespan());
+}
+
+TEST(PacketizedBa, RejectsBadPacketSize) {
+  PacketizedBa::Options options;
+  options.packet_size = 0.0;
+  EXPECT_THROW(PacketizedBa{options}, std::invalid_argument);
+}
+
+TEST(PacketizedBa, HugePacketSizeMatchesSaFCircuit) {
+  // A single packet per edge equals store-and-forward circuit switching:
+  // still a valid schedule, one occupation per hop.
+  const dag::TaskGraph graph = dag::fork(2, 30.0, 10.0);
+  const net::Topology topo = star(2);
+  PacketizedBa::Options options;
+  options.packet_size = 1e12;
+  const Schedule s = PacketizedBa(options).schedule(graph, topo);
+  validate_or_throw(graph, topo, s);
+  for (dag::EdgeId e : graph.all_edges()) {
+    const EdgeCommunication& comm = s.communication(e);
+    if (comm.kind == EdgeCommunication::Kind::kPacketized) {
+      EXPECT_EQ(comm.packet_count, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edgesched::sched

@@ -1,0 +1,70 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "net/builders.hpp"
+
+namespace edgesched::sched {
+namespace {
+
+TEST(Schedule, MakespanOfEmptySchedule) {
+  const Schedule s("X", 0, 0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+  EXPECT_EQ(s.algorithm(), "X");
+}
+
+TEST(Schedule, MakespanTracksLatestFinish) {
+  Schedule s("X", 3, 0);
+  s.place_task(dag::TaskId(0u), TaskPlacement{net::NodeId(0u), 0.0, 5.0});
+  s.place_task(dag::TaskId(1u), TaskPlacement{net::NodeId(1u), 2.0, 9.0});
+  s.place_task(dag::TaskId(2u), TaskPlacement{net::NodeId(0u), 5.0, 7.0});
+  EXPECT_DOUBLE_EQ(s.makespan(), 9.0);
+}
+
+TEST(Schedule, DoublePlacementIsRejected) {
+  Schedule s("X", 1, 0);
+  s.place_task(dag::TaskId(0u), TaskPlacement{net::NodeId(0u), 0.0, 1.0});
+  EXPECT_THROW(
+      s.place_task(dag::TaskId(0u),
+                   TaskPlacement{net::NodeId(0u), 1.0, 2.0}),
+      InternalError);
+}
+
+TEST(Schedule, CommunicationRoundTrip) {
+  Schedule s("X", 2, 1);
+  EdgeCommunication comm;
+  comm.kind = EdgeCommunication::Kind::kExclusive;
+  comm.route = {net::LinkId(3u)};
+  comm.occupations = {LinkOccupation{net::LinkId(3u), 1.0, 1.0, 2.0}};
+  comm.arrival = 2.0;
+  s.set_communication(dag::EdgeId(0u), comm);
+  const EdgeCommunication& read = s.communication(dag::EdgeId(0u));
+  EXPECT_EQ(read.kind, EdgeCommunication::Kind::kExclusive);
+  EXPECT_DOUBLE_EQ(read.arrival, 2.0);
+  ASSERT_EQ(read.occupations.size(), 1u);
+  EXPECT_DOUBLE_EQ(read.occupations[0].finish, 2.0);
+}
+
+TEST(Schedule, UtilisationAndDump) {
+  Rng rng(1);
+  const dag::TaskGraph graph = dag::chain(2, 4.0, 1.0);
+  const net::Topology topo =
+      net::fully_connected(2, net::SpeedConfig{}, rng);
+  Schedule s("X", 2, 1);
+  s.place_task(dag::TaskId(0u),
+               TaskPlacement{topo.processors()[0], 0.0, 4.0});
+  s.place_task(dag::TaskId(1u),
+               TaskPlacement{topo.processors()[0], 4.0, 8.0});
+  EdgeCommunication comm;
+  comm.kind = EdgeCommunication::Kind::kLocal;
+  comm.arrival = 4.0;
+  s.set_communication(dag::EdgeId(0u), comm);
+  EXPECT_DOUBLE_EQ(s.processor_utilisation(graph, topo), 0.5);
+  const std::string dump = s.to_string(graph, topo);
+  EXPECT_NE(dump.find("makespan=8"), std::string::npos);
+  EXPECT_NE(dump.find("P0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edgesched::sched

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dag/properties.hpp"
+#include "sim/runner.hpp"
+#include "sim/stats.hpp"
+#include "sim/table.hpp"
+#include "sim/workload.hpp"
+
+namespace edgesched::sim {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_GT(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(ExperimentConfig, PaperAxes) {
+  const auto ccrs = ExperimentConfig::paper_ccr_values();
+  ASSERT_EQ(ccrs.size(), 19u);
+  EXPECT_DOUBLE_EQ(ccrs.front(), 0.1);
+  EXPECT_DOUBLE_EQ(ccrs[9], 1.0);
+  EXPECT_DOUBLE_EQ(ccrs.back(), 10.0);
+  const auto procs = ExperimentConfig::paper_processor_counts();
+  EXPECT_EQ(procs, (std::vector<std::size_t>{2, 4, 8, 16, 32, 64, 128}));
+}
+
+TEST(ExperimentConfig, DefaultsAreScaledDown) {
+  const ExperimentConfig config = ExperimentConfig::defaults(false);
+  EXPECT_FALSE(config.heterogeneous);
+  EXPECT_GE(config.tasks_min, 1u);
+  EXPECT_LE(config.tasks_max, 1000u);
+  EXPECT_GE(config.repetitions, 1u);
+}
+
+TEST(MakeInstance, RespectsParameters) {
+  ExperimentConfig config = ExperimentConfig::defaults(false);
+  config.tasks_min = 30;
+  config.tasks_max = 50;
+  Rng rng(1);
+  const Instance instance = make_instance(config, 8, 2.0, rng);
+  EXPECT_GE(instance.graph.num_tasks(), 30u);
+  EXPECT_LE(instance.graph.num_tasks(), 50u);
+  EXPECT_EQ(instance.topology.num_processors(), 8u);
+  EXPECT_NEAR(dag::communication_computation_ratio(instance.graph), 2.0,
+              1e-9);
+  EXPECT_TRUE(instance.topology.processors_connected());
+}
+
+TEST(MakeInstance, HeterogeneousSpeeds) {
+  ExperimentConfig config = ExperimentConfig::defaults(true);
+  config.tasks_min = 20;
+  config.tasks_max = 20;
+  Rng rng(2);
+  const Instance instance = make_instance(config, 4, 1.0, rng);
+  bool any_fast = false;
+  for (net::NodeId p : instance.topology.processors()) {
+    any_fast =
+        any_fast || instance.topology.processor_speed(p) > 1.0;
+  }
+  EXPECT_TRUE(any_fast);
+}
+
+TEST(RunInstance, ValidatesAllSchedulers) {
+  ExperimentConfig config = ExperimentConfig::defaults(false);
+  config.tasks_min = 20;
+  config.tasks_max = 25;
+  Rng rng(3);
+  const Instance instance = make_instance(config, 4, 3.0, rng);
+  const auto schedulers = sched::all_schedulers();
+  const InstanceResult result =
+      run_instance(instance, schedulers, /*validate_schedules=*/true);
+  ASSERT_EQ(result.makespans.size(), 3u);
+  for (double m : result.makespans) {
+    EXPECT_GT(m, 0.0);
+  }
+}
+
+TEST(ImprovementPct, Formula) {
+  EXPECT_DOUBLE_EQ(improvement_pct(100.0, 80.0), 20.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(100.0, 120.0), -20.0);
+  EXPECT_DOUBLE_EQ(improvement_pct(0.0, 10.0), 0.0);
+}
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config = ExperimentConfig::defaults(false);
+  config.ccr_values = {0.5, 5.0};
+  config.processor_counts = {4};
+  config.tasks_min = 15;
+  config.tasks_max = 25;
+  config.repetitions = 2;
+  return config;
+}
+
+TEST(Sweep, CcrSweepShape) {
+  std::size_t progress_calls = 0;
+  const auto points = sweep_ccr(
+      tiny_config(), /*validate_schedules=*/true,
+      [&](std::size_t done, std::size_t total) {
+        ++progress_calls;
+        EXPECT_LE(done, total);
+      });
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].x, 0.5);
+  EXPECT_DOUBLE_EQ(points[1].x, 5.0);
+  EXPECT_EQ(points[0].oihsa_improvement_pct.count(), 2u);
+  EXPECT_EQ(progress_calls, 4u);
+}
+
+TEST(Sweep, ProcessorSweepShape) {
+  ExperimentConfig config = tiny_config();
+  config.processor_counts = {2, 4};
+  config.ccr_values = {1.0};
+  const auto points = sweep_processors(config, true);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].x, 2.0);
+  EXPECT_DOUBLE_EQ(points[1].x, 4.0);
+}
+
+TEST(Sweep, DeterministicForSeed) {
+  const auto a = sweep_ccr(tiny_config(), false);
+  const auto b = sweep_ccr(tiny_config(), false);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].oihsa_improvement_pct.mean(),
+                     b[i].oihsa_improvement_pct.mean());
+    EXPECT_DOUBLE_EQ(a[i].bbsa_improvement_pct.mean(),
+                     b[i].bbsa_improvement_pct.mean());
+  }
+}
+
+TEST(Tables, PrintAndCsv) {
+  const auto points = sweep_ccr(tiny_config(), false);
+  std::ostringstream table;
+  print_sweep(table, "CCR", points);
+  EXPECT_NE(table.str().find("OIHSA vs BA"), std::string::npos);
+  std::ostringstream csv;
+  write_sweep_csv(csv, "ccr", points);
+  EXPECT_NE(csv.str().find("ccr,oihsa_improvement_pct"),
+            std::string::npos);
+  std::ostringstream chart;
+  print_sweep_chart(chart, "CCR", points);
+  EXPECT_NE(chart.str().find("OIHSA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edgesched::sim

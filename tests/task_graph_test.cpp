@@ -1,0 +1,147 @@
+#include "dag/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace edgesched::dag {
+namespace {
+
+TaskGraph diamond_graph() {
+  TaskGraph g("diamond");
+  const TaskId a = g.add_task(2.0, "a");
+  const TaskId b = g.add_task(3.0, "b");
+  const TaskId c = g.add_task(4.0, "c");
+  const TaskId d = g.add_task(5.0, "d");
+  g.add_edge(a, b, 1.0);
+  g.add_edge(a, c, 2.0);
+  g.add_edge(b, d, 3.0);
+  g.add_edge(c, d, 4.0);
+  return g;
+}
+
+TEST(TaskGraph, StartsEmpty) {
+  TaskGraph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.num_tasks(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(TaskGraph, AddTaskAssignsDenseIds) {
+  TaskGraph g;
+  EXPECT_EQ(g.add_task(1.0).value(), 0u);
+  EXPECT_EQ(g.add_task(2.0).value(), 1u);
+  EXPECT_EQ(g.add_task(3.0).value(), 2u);
+  EXPECT_EQ(g.num_tasks(), 3u);
+}
+
+TEST(TaskGraph, TaskNamesDefaultAndExplicit) {
+  TaskGraph g;
+  const TaskId anon = g.add_task(1.0);
+  const TaskId named = g.add_task(1.0, "compute");
+  EXPECT_EQ(g.task(anon).name, "n0");
+  EXPECT_EQ(g.task(named).name, "compute");
+}
+
+TEST(TaskGraph, RejectsNegativeWeight) {
+  TaskGraph g;
+  EXPECT_THROW((void)g.add_task(-1.0), std::invalid_argument);
+}
+
+TEST(TaskGraph, RejectsBadEdges) {
+  TaskGraph g;
+  const TaskId a = g.add_task(1.0);
+  const TaskId b = g.add_task(1.0);
+  EXPECT_THROW((void)g.add_edge(a, a, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)g.add_edge(a, TaskId(9u), 1.0), std::invalid_argument);
+  EXPECT_THROW((void)g.add_edge(a, b, -1.0), std::invalid_argument);
+  (void)g.add_edge(a, b, 1.0);
+  EXPECT_THROW((void)g.add_edge(a, b, 2.0), std::invalid_argument);
+}
+
+TEST(TaskGraph, AdjacencyIsSymmetric) {
+  const TaskGraph g = diamond_graph();
+  const TaskId a(0u), b(1u), c(2u), d(3u);
+  EXPECT_EQ(g.successors(a), (std::vector<TaskId>{b, c}));
+  EXPECT_EQ(g.predecessors(d), (std::vector<TaskId>{b, c}));
+  EXPECT_EQ(g.in_edges(a).size(), 0u);
+  EXPECT_EQ(g.out_edges(d).size(), 0u);
+}
+
+TEST(TaskGraph, EdgeEndpointsAndCosts) {
+  const TaskGraph g = diamond_graph();
+  const Edge& e = g.edge(EdgeId(3u));
+  EXPECT_EQ(e.src, TaskId(2u));
+  EXPECT_EQ(e.dst, TaskId(3u));
+  EXPECT_DOUBLE_EQ(e.cost, 4.0);
+}
+
+TEST(TaskGraph, SetCostRescales) {
+  TaskGraph g = diamond_graph();
+  g.set_cost(EdgeId(0u), 10.0);
+  EXPECT_DOUBLE_EQ(g.cost(EdgeId(0u)), 10.0);
+  EXPECT_THROW(g.set_cost(EdgeId(0u), -1.0), std::invalid_argument);
+}
+
+TEST(TaskGraph, EntryAndExitTasks) {
+  const TaskGraph g = diamond_graph();
+  EXPECT_EQ(g.entry_tasks(), std::vector<TaskId>{TaskId(0u)});
+  EXPECT_EQ(g.exit_tasks(), std::vector<TaskId>{TaskId(3u)});
+}
+
+TEST(TaskGraph, AcyclicDetection) {
+  TaskGraph g = diamond_graph();
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_edge(TaskId(3u), TaskId(0u), 1.0);  // close the cycle
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  EXPECT_THROW((void)g.topological_order(), std::invalid_argument);
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsPrecedence) {
+  const TaskGraph g = diamond_graph();
+  const std::vector<TaskId> order = g.topological_order();
+  ASSERT_EQ(order.size(), g.num_tasks());
+  std::vector<std::size_t> position(g.num_tasks());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[order[i].index()] = i;
+  }
+  for (EdgeId e : g.all_edges()) {
+    EXPECT_LT(position[g.edge(e).src.index()],
+              position[g.edge(e).dst.index()]);
+  }
+}
+
+TEST(TaskGraph, TopologicalOrderIsDeterministic) {
+  const TaskGraph g = diamond_graph();
+  EXPECT_EQ(g.topological_order(), g.topological_order());
+}
+
+TEST(TaskGraph, Totals) {
+  const TaskGraph g = diamond_graph();
+  EXPECT_DOUBLE_EQ(g.total_computation(), 14.0);
+  EXPECT_DOUBLE_EQ(g.total_communication(), 10.0);
+}
+
+TEST(TaskGraph, IndependentTasksBothEntryAndExit) {
+  TaskGraph g;
+  (void)g.add_task(1.0);
+  (void)g.add_task(1.0);
+  EXPECT_EQ(g.entry_tasks().size(), 2u);
+  EXPECT_EQ(g.exit_tasks().size(), 2u);
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(StrongId, InvalidByDefault) {
+  TaskId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE(TaskId(0u).valid());
+}
+
+TEST(StrongId, OrdersAndHashesLikeUnderlying) {
+  EXPECT_LT(TaskId(1u), TaskId(2u));
+  EXPECT_EQ(std::hash<TaskId>{}(TaskId(5u)), std::hash<TaskId>{}(TaskId(5u)));
+}
+
+}  // namespace
+}  // namespace edgesched::dag

@@ -1,0 +1,118 @@
+#include "sched/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dag/generators.hpp"
+#include "net/builders.hpp"
+#include "sched/ba.hpp"
+#include "sched/bbsa.hpp"
+#include "sched/validator.hpp"
+
+namespace edgesched::sched {
+namespace {
+
+struct Fixture {
+  dag::TaskGraph graph = dag::fork(2, 20.0, 6.0);
+  net::Topology topo;
+  Schedule schedule;
+
+  Fixture()
+      : topo([] {
+          Rng rng(1);
+          return net::switched_star(3, net::SpeedConfig{}, rng);
+        }()),
+        schedule(BasicAlgorithm{}.schedule(graph, topo)) {}
+};
+
+TEST(ChromeTrace, IsWellFormedJson) {
+  const Fixture f;
+  const std::string json = to_chrome_trace(f.graph, f.topo, f.schedule);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Balanced braces and brackets (crude but effective well-formedness).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ChromeTrace, ContainsEveryTask) {
+  const Fixture f;
+  const std::string json = to_chrome_trace(f.graph, f.topo, f.schedule);
+  for (dag::TaskId t : f.graph.all_tasks()) {
+    EXPECT_NE(json.find("\"" + f.graph.task(t).name + "\""),
+              std::string::npos)
+        << f.graph.task(t).name;
+  }
+}
+
+TEST(ChromeTrace, ContainsLinkRowsForRemoteEdges) {
+  const Fixture f;
+  bool any_remote = false;
+  for (dag::EdgeId e : f.graph.all_edges()) {
+    any_remote = any_remote ||
+                 f.schedule.communication(e).kind ==
+                     EdgeCommunication::Kind::kExclusive;
+  }
+  ASSERT_TRUE(any_remote);
+  const std::string json = to_chrome_trace(f.graph, f.topo, f.schedule);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("->"), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesNames) {
+  dag::TaskGraph graph;
+  (void)graph.add_task(1.0, "we\"ird");
+  Rng rng(1);
+  const net::Topology topo =
+      net::switched_star(1, net::SpeedConfig{}, rng);
+  const Schedule s = BasicAlgorithm{}.schedule(graph, topo);
+  const std::string json = to_chrome_trace(graph, topo, s);
+  EXPECT_NE(json.find("we\\\"ird"), std::string::npos);
+}
+
+TEST(AsciiGantt, PaintsTasksAndLinks) {
+  const Fixture f;
+  const std::string gantt =
+      to_ascii_gantt(f.graph, f.topo, f.schedule);
+  EXPECT_NE(gantt.find("makespan="), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);  // task execution
+  EXPECT_NE(gantt.find('='), std::string::npos);  // link occupation
+  // One row per processor.
+  for (net::NodeId p : f.topo.processors()) {
+    EXPECT_NE(gantt.find(f.topo.node(p).name), std::string::npos);
+  }
+}
+
+TEST(AsciiGantt, LinksCanBeSuppressed) {
+  const Fixture f;
+  GanttOptions options;
+  options.include_links = false;
+  const std::string gantt =
+      to_ascii_gantt(f.graph, f.topo, f.schedule, options);
+  // The header line contains "makespan=..."; no '=' may appear after it.
+  EXPECT_EQ(gantt.find('=', gantt.find('\n')), std::string::npos);
+}
+
+TEST(AsciiGantt, WorksForBandwidthSchedules) {
+  const Fixture f;
+  const Schedule bbsa = Bbsa{}.schedule(f.graph, f.topo);
+  validate_or_throw(f.graph, f.topo, bbsa);
+  const std::string gantt = to_ascii_gantt(f.graph, f.topo, bbsa);
+  EXPECT_NE(gantt.find("BBSA"), std::string::npos);
+}
+
+TEST(AsciiGantt, EmptyScheduleDoesNotCrash) {
+  const dag::TaskGraph graph;
+  Rng rng(1);
+  const net::Topology topo =
+      net::switched_star(1, net::SpeedConfig{}, rng);
+  const Schedule s("X", 0, 0);
+  const std::string gantt = to_ascii_gantt(graph, topo, s);
+  EXPECT_NE(gantt.find("makespan=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edgesched::sched

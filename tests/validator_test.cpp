@@ -1,0 +1,328 @@
+#include "sched/validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "net/builders.hpp"
+#include "net/routing.hpp"
+
+namespace edgesched::sched {
+namespace {
+
+/// Two processors joined through one switch; chain graph a -> b, cost 4.
+struct Fixture {
+  dag::TaskGraph graph = dag::chain(2, 2.0, 4.0);
+  net::Topology topo;
+  net::NodeId p0, p1, sw;
+  net::LinkId p0_sw, sw_p1;
+
+  Fixture() {
+    p0 = topo.add_processor(1.0, "p0");
+    p1 = topo.add_processor(1.0, "p1");
+    sw = topo.add_switch("sw");
+    p0_sw = topo.add_duplex_link(p0, sw, 1.0).first;
+    sw_p1 = topo.add_duplex_link(sw, p1, 1.0).first;
+  }
+
+  /// A correct exclusive-model schedule: task0 on p0 [0,2], transfer
+  /// [2,6] on both hops (cut-through), task1 on p1 [6,8].
+  Schedule good() const {
+    Schedule s("hand", 2, 1);
+    s.place_task(dag::TaskId(0u), TaskPlacement{p0, 0.0, 2.0});
+    s.place_task(dag::TaskId(1u), TaskPlacement{p1, 6.0, 8.0});
+    EdgeCommunication comm;
+    comm.kind = EdgeCommunication::Kind::kExclusive;
+    comm.route = {p0_sw, sw_p1};
+    comm.occupations = {LinkOccupation{p0_sw, 2.0, 2.0, 6.0},
+                        LinkOccupation{sw_p1, 2.0, 2.0, 6.0}};
+    comm.arrival = 6.0;
+    s.set_communication(dag::EdgeId(0u), comm);
+    return s;
+  }
+};
+
+TEST(Validator, AcceptsCorrectSchedule) {
+  const Fixture f;
+  const auto violations = validate(f.graph, f.topo, f.good());
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+  EXPECT_TRUE(is_valid(f.graph, f.topo, f.good()));
+  EXPECT_NO_THROW(validate_or_throw(f.graph, f.topo, f.good()));
+}
+
+TEST(Validator, CatchesUnplacedTask) {
+  const Fixture f;
+  Schedule s("bad", 2, 1);
+  s.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 0.0, 2.0});
+  EXPECT_FALSE(is_valid(f.graph, f.topo, s));
+}
+
+TEST(Validator, CatchesWrongDuration) {
+  const Fixture f;
+  Schedule s = f.good();
+  // Rebuild with a too-short task 1.
+  Schedule bad("bad", 2, 1);
+  bad.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 0.0, 2.0});
+  bad.place_task(dag::TaskId(1u), TaskPlacement{f.p1, 6.0, 7.0});
+  bad.set_communication(dag::EdgeId(0u),
+                        s.communication(dag::EdgeId(0u)));
+  const auto violations = validate(f.graph, f.topo, bad);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("duration"), std::string::npos);
+}
+
+TEST(Validator, CatchesNegativeStart) {
+  const Fixture f;
+  Schedule bad("bad", 2, 1);
+  bad.place_task(dag::TaskId(0u), TaskPlacement{f.p0, -1.0, 1.0});
+  bad.place_task(dag::TaskId(1u), TaskPlacement{f.p0, 1.0, 3.0});
+  EdgeCommunication comm;
+  comm.kind = EdgeCommunication::Kind::kLocal;
+  comm.arrival = 1.0;
+  bad.set_communication(dag::EdgeId(0u), comm);
+  EXPECT_FALSE(is_valid(f.graph, f.topo, bad));
+}
+
+TEST(Validator, CatchesProcessorOverlap) {
+  const Fixture f;
+  Schedule bad("bad", 2, 1);
+  bad.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 0.0, 2.0});
+  bad.place_task(dag::TaskId(1u), TaskPlacement{f.p0, 1.0, 3.0});
+  EdgeCommunication comm;
+  comm.kind = EdgeCommunication::Kind::kLocal;
+  comm.arrival = 2.0;
+  bad.set_communication(dag::EdgeId(0u), comm);
+  const auto violations = validate(f.graph, f.topo, bad);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(Validator, CatchesPrecedenceViolation) {
+  const Fixture f;
+  Schedule bad("bad", 2, 1);
+  bad.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 4.0, 6.0});
+  bad.place_task(dag::TaskId(1u), TaskPlacement{f.p0, 0.0, 2.0});
+  EdgeCommunication comm;
+  comm.kind = EdgeCommunication::Kind::kLocal;
+  comm.arrival = 6.0;
+  bad.set_communication(dag::EdgeId(0u), comm);
+  EXPECT_FALSE(is_valid(f.graph, f.topo, bad));
+}
+
+TEST(Validator, CatchesMissingRoute) {
+  const Fixture f;
+  Schedule bad = f.good();
+  Schedule rebuilt("bad", 2, 1);
+  rebuilt.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 0.0, 2.0});
+  rebuilt.place_task(dag::TaskId(1u), TaskPlacement{f.p1, 6.0, 8.0});
+  EdgeCommunication comm = bad.communication(dag::EdgeId(0u));
+  comm.route = {f.p0_sw};  // truncated route
+  comm.occupations.pop_back();
+  rebuilt.set_communication(dag::EdgeId(0u), comm);
+  const auto violations = validate(f.graph, f.topo, rebuilt);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("route"), std::string::npos);
+}
+
+TEST(Validator, CatchesWrongSlotLength) {
+  const Fixture f;
+  Schedule rebuilt("bad", 2, 1);
+  rebuilt.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 0.0, 2.0});
+  rebuilt.place_task(dag::TaskId(1u), TaskPlacement{f.p1, 6.0, 8.0});
+  EdgeCommunication comm = f.good().communication(dag::EdgeId(0u));
+  comm.occupations[0].start = 3.0;  // slot now 3 units, c/s = 4
+  rebuilt.set_communication(dag::EdgeId(0u), comm);
+  EXPECT_FALSE(is_valid(f.graph, f.topo, rebuilt));
+}
+
+TEST(Validator, CatchesCausalityViolation) {
+  const Fixture f;
+  Schedule rebuilt("bad", 2, 1);
+  rebuilt.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 0.0, 2.0});
+  rebuilt.place_task(dag::TaskId(1u), TaskPlacement{f.p1, 6.0, 8.0});
+  EdgeCommunication comm = f.good().communication(dag::EdgeId(0u));
+  // Second hop finishes before the first: impossible.
+  comm.occupations[1] = LinkOccupation{f.sw_p1, 1.0, 1.0, 5.0};
+  comm.arrival = 5.0;
+  rebuilt.set_communication(dag::EdgeId(0u), comm);
+  EXPECT_FALSE(is_valid(f.graph, f.topo, rebuilt));
+}
+
+TEST(Validator, CatchesStartBeforeArrival) {
+  const Fixture f;
+  Schedule rebuilt("bad", 2, 1);
+  rebuilt.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 0.0, 2.0});
+  rebuilt.place_task(dag::TaskId(1u), TaskPlacement{f.p1, 5.0, 7.0});
+  rebuilt.set_communication(dag::EdgeId(0u),
+                            f.good().communication(dag::EdgeId(0u)));
+  const auto violations = validate(f.graph, f.topo, rebuilt);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("arrival"), std::string::npos);
+}
+
+TEST(Validator, CatchesDomainOverlapAcrossEdges) {
+  // Two edges booked on the same link at overlapping times.
+  dag::TaskGraph graph;
+  const dag::TaskId a = graph.add_task(1.0);
+  const dag::TaskId b = graph.add_task(1.0);
+  const dag::TaskId c = graph.add_task(1.0);
+  const dag::TaskId d = graph.add_task(1.0);
+  const dag::EdgeId e0 = graph.add_edge(a, c, 2.0);
+  const dag::EdgeId e1 = graph.add_edge(b, d, 2.0);
+
+  net::Topology topo;
+  const net::NodeId p0 = topo.add_processor();
+  const net::NodeId p1 = topo.add_processor();
+  const net::LinkId link = topo.add_link(p0, p1, 1.0);
+  (void)topo.add_link(p1, p0, 1.0);
+
+  Schedule s("bad", 4, 2);
+  s.place_task(a, TaskPlacement{p0, 0.0, 1.0});
+  s.place_task(b, TaskPlacement{p0, 1.0, 2.0});
+  s.place_task(c, TaskPlacement{p1, 4.0, 5.0});
+  s.place_task(d, TaskPlacement{p1, 5.0, 6.0});
+  EdgeCommunication comm0;
+  comm0.kind = EdgeCommunication::Kind::kExclusive;
+  comm0.route = {link};
+  comm0.occupations = {LinkOccupation{link, 1.0, 1.0, 3.0}};
+  comm0.arrival = 3.0;
+  EdgeCommunication comm1 = comm0;
+  comm1.occupations = {LinkOccupation{link, 2.0, 2.0, 4.0}};  // overlaps!
+  comm1.arrival = 4.0;
+  s.set_communication(e0, comm0);
+  s.set_communication(e1, comm1);
+  const auto violations = validate(graph, topo, s);
+  ASSERT_FALSE(violations.empty());
+  bool found = false;
+  for (const auto& v : violations) {
+    found = found || v.find("overlapping") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validator, BandwidthOverbookingIsCaught) {
+  dag::TaskGraph graph;
+  const dag::TaskId a = graph.add_task(1.0);
+  const dag::TaskId b = graph.add_task(1.0);
+  const dag::TaskId c = graph.add_task(1.0);
+  const dag::TaskId d = graph.add_task(1.0);
+  const dag::EdgeId e0 = graph.add_edge(a, c, 2.0);
+  const dag::EdgeId e1 = graph.add_edge(b, d, 2.0);
+
+  net::Topology topo;
+  const net::NodeId p0 = topo.add_processor();
+  const net::NodeId p1 = topo.add_processor();
+  const net::LinkId link = topo.add_link(p0, p1, 1.0);
+  (void)topo.add_link(p1, p0, 1.0);
+
+  Schedule s("bad", 4, 2);
+  s.place_task(a, TaskPlacement{p0, 0.0, 1.0});
+  s.place_task(b, TaskPlacement{p0, 1.0, 2.0});
+  s.place_task(c, TaskPlacement{p1, 4.0, 5.0});
+  s.place_task(d, TaskPlacement{p1, 5.0, 6.0});
+  const auto bandwidth_comm = [&](double start) {
+    EdgeCommunication comm;
+    comm.kind = EdgeCommunication::Kind::kBandwidth;
+    comm.route = {link};
+    timeline::RateProfile p;
+    p.append(start, start + 2.0, 1.0);  // full capacity each
+    comm.profiles = {p};
+    comm.arrival = start + 2.0;
+    return comm;
+  };
+  s.set_communication(e0, bandwidth_comm(1.0));
+  s.set_communication(e1, bandwidth_comm(2.0));  // overlaps in [2, 3]
+  const auto violations = validate(graph, topo, s);
+  ASSERT_FALSE(violations.empty());
+  bool found = false;
+  for (const auto& v : violations) {
+    found = found || v.find("capacity") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validator, PacketizedGoodAndBadSchedules) {
+  const Fixture f;
+  // cost 4 in 2 packets of volume 2 over 2 hops, store-and-forward:
+  // packet 0: [2,4] then [4,6]; packet 1: [4,6] then [6,8]. Arrival 8.
+  const auto packet_comm = [&](bool break_ordering) {
+    EdgeCommunication comm;
+    comm.kind = EdgeCommunication::Kind::kPacketized;
+    comm.route = {f.p0_sw, f.sw_p1};
+    comm.packet_count = 2;
+    comm.occupations = {
+        LinkOccupation{f.p0_sw, 2.0, 2.0, 4.0},
+        LinkOccupation{f.sw_p1, 4.0, 4.0, 6.0},
+        LinkOccupation{f.p0_sw, 4.0, 4.0, 6.0},
+        LinkOccupation{f.sw_p1, 6.0, 6.0, 8.0},
+    };
+    if (break_ordering) {
+      // Packet 0's second hop starts before its first hop finished.
+      comm.occupations[1] = LinkOccupation{f.sw_p1, 2.0, 2.0, 4.0};
+    }
+    comm.arrival = 8.0;
+    return comm;
+  };
+
+  Schedule good("packets", 2, 1);
+  good.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 0.0, 2.0});
+  good.place_task(dag::TaskId(1u), TaskPlacement{f.p1, 8.0, 10.0});
+  good.set_communication(dag::EdgeId(0u), packet_comm(false));
+  const auto ok = validate(f.graph, f.topo, good);
+  EXPECT_TRUE(ok.empty()) << (ok.empty() ? "" : ok.front());
+
+  Schedule bad("packets", 2, 1);
+  bad.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 0.0, 2.0});
+  bad.place_task(dag::TaskId(1u), TaskPlacement{f.p1, 8.0, 10.0});
+  bad.set_communication(dag::EdgeId(0u), packet_comm(true));
+  const auto violations = validate(f.graph, f.topo, bad);
+  ASSERT_FALSE(violations.empty());
+  bool found = false;
+  for (const auto& v : violations) {
+    found = found || v.find("previous hop") != std::string::npos ||
+            v.find("overlapping") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validator, PacketizedCountMismatchCaught) {
+  const Fixture f;
+  Schedule bad("packets", 2, 1);
+  bad.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 0.0, 2.0});
+  bad.place_task(dag::TaskId(1u), TaskPlacement{f.p1, 8.0, 10.0});
+  EdgeCommunication comm;
+  comm.kind = EdgeCommunication::Kind::kPacketized;
+  comm.route = {f.p0_sw, f.sw_p1};
+  comm.packet_count = 2;
+  comm.occupations = {LinkOccupation{f.p0_sw, 2.0, 2.0, 4.0}};  // short
+  comm.arrival = 4.0;
+  bad.set_communication(dag::EdgeId(0u), comm);
+  const auto violations = validate(f.graph, f.topo, bad);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("packet"), std::string::npos);
+}
+
+TEST(Validator, ContentionFreeCanBeDisallowed) {
+  const Fixture f;
+  Schedule s("classic", 2, 1);
+  s.place_task(dag::TaskId(0u), TaskPlacement{f.p0, 0.0, 2.0});
+  s.place_task(dag::TaskId(1u), TaskPlacement{f.p1, 6.0, 8.0});
+  EdgeCommunication comm;
+  comm.kind = EdgeCommunication::Kind::kContentionFree;
+  comm.arrival = 6.0;
+  s.set_communication(dag::EdgeId(0u), comm);
+  EXPECT_TRUE(is_valid(f.graph, f.topo, s));
+  ValidationOptions strict;
+  strict.allow_contention_free = false;
+  EXPECT_FALSE(is_valid(f.graph, f.topo, s, strict));
+}
+
+TEST(Validator, DimensionMismatchIsCaught) {
+  const Fixture f;
+  const Schedule s("bad", 1, 0);
+  const auto violations = validate(f.graph, f.topo, s);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations.front().find("dimensions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edgesched::sched
