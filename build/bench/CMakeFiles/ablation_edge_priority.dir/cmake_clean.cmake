@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_edge_priority.dir/ablation_edge_priority.cpp.o"
+  "CMakeFiles/ablation_edge_priority.dir/ablation_edge_priority.cpp.o.d"
+  "ablation_edge_priority"
+  "ablation_edge_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edge_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_metaheuristics.dir/ablation_metaheuristics.cpp.o"
+  "CMakeFiles/ablation_metaheuristics.dir/ablation_metaheuristics.cpp.o.d"
+  "ablation_metaheuristics"
+  "ablation_metaheuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_metaheuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_priorities.dir/ablation_priorities.cpp.o"
+  "CMakeFiles/ablation_priorities.dir/ablation_priorities.cpp.o.d"
+  "ablation_priorities"
+  "ablation_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_task_scaling.dir/extension_task_scaling.cpp.o"
+  "CMakeFiles/extension_task_scaling.dir/extension_task_scaling.cpp.o.d"
+  "extension_task_scaling"
+  "extension_task_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_task_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_homogeneous_ccr.dir/fig1_homogeneous_ccr.cpp.o"
+  "CMakeFiles/fig1_homogeneous_ccr.dir/fig1_homogeneous_ccr.cpp.o.d"
+  "fig1_homogeneous_ccr"
+  "fig1_homogeneous_ccr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_homogeneous_ccr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

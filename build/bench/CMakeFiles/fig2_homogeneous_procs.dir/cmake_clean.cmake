@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_homogeneous_procs.dir/fig2_homogeneous_procs.cpp.o"
+  "CMakeFiles/fig2_homogeneous_procs.dir/fig2_homogeneous_procs.cpp.o.d"
+  "fig2_homogeneous_procs"
+  "fig2_homogeneous_procs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_homogeneous_procs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_heterogeneous_ccr.dir/fig3_heterogeneous_ccr.cpp.o"
+  "CMakeFiles/fig3_heterogeneous_ccr.dir/fig3_heterogeneous_ccr.cpp.o.d"
+  "fig3_heterogeneous_ccr"
+  "fig3_heterogeneous_ccr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_heterogeneous_ccr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_heterogeneous_procs.dir/fig4_heterogeneous_procs.cpp.o"
+  "CMakeFiles/fig4_heterogeneous_procs.dir/fig4_heterogeneous_procs.cpp.o.d"
+  "fig4_heterogeneous_procs"
+  "fig4_heterogeneous_procs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_heterogeneous_procs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

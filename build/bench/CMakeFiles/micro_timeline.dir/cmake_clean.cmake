@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_timeline.dir/micro_timeline.cpp.o"
+  "CMakeFiles/micro_timeline.dir/micro_timeline.cpp.o.d"
+  "micro_timeline"
+  "micro_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling_cost.dir/scheduling_cost.cpp.o"
+  "CMakeFiles/scheduling_cost.dir/scheduling_cost.cpp.o.d"
+  "scheduling_cost"
+  "scheduling_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_cluster.dir/cholesky_cluster.cpp.o"
+  "CMakeFiles/cholesky_cluster.dir/cholesky_cluster.cpp.o.d"
+  "cholesky_cluster"
+  "cholesky_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_workflow.dir/cluster_workflow.cpp.o"
+  "CMakeFiles/cluster_workflow.dir/cluster_workflow.cpp.o.d"
+  "cluster_workflow"
+  "cluster_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesched_cli.dir/edgesched_cli.cpp.o"
+  "CMakeFiles/edgesched_cli.dir/edgesched_cli.cpp.o.d"
+  "edgesched_cli"
+  "edgesched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_contention_report.dir/link_contention_report.cpp.o"
+  "CMakeFiles/link_contention_report.dir/link_contention_report.cpp.o.d"
+  "link_contention_report"
+  "link_contention_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_contention_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

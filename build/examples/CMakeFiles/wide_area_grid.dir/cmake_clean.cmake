@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_area_grid.dir/wide_area_grid.cpp.o"
+  "CMakeFiles/wide_area_grid.dir/wide_area_grid.cpp.o.d"
+  "wide_area_grid"
+  "wide_area_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_area_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

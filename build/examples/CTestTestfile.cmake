@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cluster_workflow "/root/repo/build/examples/cluster_workflow" "6" "2")
+set_tests_properties(example_cluster_workflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wide_area_grid "/root/repo/build/examples/wide_area_grid" "8" "40")
+set_tests_properties(example_wide_area_grid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compare_algorithms "/root/repo/build/examples/compare_algorithms")
+set_tests_properties(example_compare_algorithms PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_link_contention_report "/root/repo/build/examples/link_contention_report" "8" "2")
+set_tests_properties(example_link_contention_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cholesky_cluster "/root/repo/build/examples/cholesky_cluster" "4")
+set_tests_properties(example_cholesky_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_text_schedule "/root/repo/build/examples/edgesched_cli" "--graph" "/root/repo/data/mapreduce.txt" "--star" "4" "--algorithm" "bbsa" "--output" "schedule")
+set_tests_properties(cli_text_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_text_metrics "/root/repo/build/examples/edgesched_cli" "--graph" "/root/repo/data/mapreduce.txt" "--star" "4" "--algorithm" "bbsa" "--output" "metrics")
+set_tests_properties(cli_text_metrics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_text_gantt "/root/repo/build/examples/edgesched_cli" "--graph" "/root/repo/data/mapreduce.txt" "--star" "4" "--algorithm" "bbsa" "--output" "gantt")
+set_tests_properties(cli_text_gantt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_text_trace "/root/repo/build/examples/edgesched_cli" "--graph" "/root/repo/data/mapreduce.txt" "--star" "4" "--algorithm" "bbsa" "--output" "trace")
+set_tests_properties(cli_text_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_text_dot "/root/repo/build/examples/edgesched_cli" "--graph" "/root/repo/data/mapreduce.txt" "--star" "4" "--algorithm" "bbsa" "--output" "dot")
+set_tests_properties(cli_text_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_stg_oihsa "/root/repo/build/examples/edgesched_cli" "--graph" "/root/repo/data/pipeline.stg" "--graph-format" "stg" "--wan" "6" "--ccr" "3" "--algorithm" "oihsa" "--output" "metrics")
+set_tests_properties(cli_stg_oihsa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_packet_hetero "/root/repo/build/examples/edgesched_cli" "--graph" "/root/repo/data/mapreduce.txt" "--ring" "4" "--heterogeneous" "--algorithm" "packet" "--output" "gantt")
+set_tests_properties(cli_packet_hetero PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_flag "/root/repo/build/examples/edgesched_cli" "--bogus")
+set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;38;add_test;/root/repo/examples/CMakeLists.txt;0;")

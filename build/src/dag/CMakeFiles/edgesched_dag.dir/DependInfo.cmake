@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/generators.cpp" "src/dag/CMakeFiles/edgesched_dag.dir/generators.cpp.o" "gcc" "src/dag/CMakeFiles/edgesched_dag.dir/generators.cpp.o.d"
+  "/root/repo/src/dag/properties.cpp" "src/dag/CMakeFiles/edgesched_dag.dir/properties.cpp.o" "gcc" "src/dag/CMakeFiles/edgesched_dag.dir/properties.cpp.o.d"
+  "/root/repo/src/dag/serialization.cpp" "src/dag/CMakeFiles/edgesched_dag.dir/serialization.cpp.o" "gcc" "src/dag/CMakeFiles/edgesched_dag.dir/serialization.cpp.o.d"
+  "/root/repo/src/dag/task_graph.cpp" "src/dag/CMakeFiles/edgesched_dag.dir/task_graph.cpp.o" "gcc" "src/dag/CMakeFiles/edgesched_dag.dir/task_graph.cpp.o.d"
+  "/root/repo/src/dag/transforms.cpp" "src/dag/CMakeFiles/edgesched_dag.dir/transforms.cpp.o" "gcc" "src/dag/CMakeFiles/edgesched_dag.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/edgesched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesched_dag.dir/generators.cpp.o"
+  "CMakeFiles/edgesched_dag.dir/generators.cpp.o.d"
+  "CMakeFiles/edgesched_dag.dir/properties.cpp.o"
+  "CMakeFiles/edgesched_dag.dir/properties.cpp.o.d"
+  "CMakeFiles/edgesched_dag.dir/serialization.cpp.o"
+  "CMakeFiles/edgesched_dag.dir/serialization.cpp.o.d"
+  "CMakeFiles/edgesched_dag.dir/task_graph.cpp.o"
+  "CMakeFiles/edgesched_dag.dir/task_graph.cpp.o.d"
+  "CMakeFiles/edgesched_dag.dir/transforms.cpp.o"
+  "CMakeFiles/edgesched_dag.dir/transforms.cpp.o.d"
+  "libedgesched_dag.a"
+  "libedgesched_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesched_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

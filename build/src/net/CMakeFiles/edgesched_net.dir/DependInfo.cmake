@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/builders.cpp" "src/net/CMakeFiles/edgesched_net.dir/builders.cpp.o" "gcc" "src/net/CMakeFiles/edgesched_net.dir/builders.cpp.o.d"
+  "/root/repo/src/net/properties.cpp" "src/net/CMakeFiles/edgesched_net.dir/properties.cpp.o" "gcc" "src/net/CMakeFiles/edgesched_net.dir/properties.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/edgesched_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/edgesched_net.dir/routing.cpp.o.d"
+  "/root/repo/src/net/serialization.cpp" "src/net/CMakeFiles/edgesched_net.dir/serialization.cpp.o" "gcc" "src/net/CMakeFiles/edgesched_net.dir/serialization.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/edgesched_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/edgesched_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/edgesched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

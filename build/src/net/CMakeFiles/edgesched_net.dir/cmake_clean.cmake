@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesched_net.dir/builders.cpp.o"
+  "CMakeFiles/edgesched_net.dir/builders.cpp.o.d"
+  "CMakeFiles/edgesched_net.dir/properties.cpp.o"
+  "CMakeFiles/edgesched_net.dir/properties.cpp.o.d"
+  "CMakeFiles/edgesched_net.dir/routing.cpp.o"
+  "CMakeFiles/edgesched_net.dir/routing.cpp.o.d"
+  "CMakeFiles/edgesched_net.dir/serialization.cpp.o"
+  "CMakeFiles/edgesched_net.dir/serialization.cpp.o.d"
+  "CMakeFiles/edgesched_net.dir/topology.cpp.o"
+  "CMakeFiles/edgesched_net.dir/topology.cpp.o.d"
+  "libedgesched_net.a"
+  "libedgesched_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesched_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

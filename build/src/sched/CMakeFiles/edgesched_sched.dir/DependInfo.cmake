@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/annealing.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/annealing.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/annealing.cpp.o.d"
+  "/root/repo/src/sched/assignment.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/assignment.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/assignment.cpp.o.d"
+  "/root/repo/src/sched/ba.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/ba.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/ba.cpp.o.d"
+  "/root/repo/src/sched/bbsa.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/bbsa.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/bbsa.cpp.o.d"
+  "/root/repo/src/sched/classic.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/classic.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/classic.cpp.o.d"
+  "/root/repo/src/sched/genetic.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/genetic.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/genetic.cpp.o.d"
+  "/root/repo/src/sched/lower_bounds.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/lower_bounds.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/lower_bounds.cpp.o.d"
+  "/root/repo/src/sched/metrics.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/metrics.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/metrics.cpp.o.d"
+  "/root/repo/src/sched/network_state.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/network_state.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/network_state.cpp.o.d"
+  "/root/repo/src/sched/oihsa.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/oihsa.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/oihsa.cpp.o.d"
+  "/root/repo/src/sched/packetized.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/packetized.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/packetized.cpp.o.d"
+  "/root/repo/src/sched/priorities.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/priorities.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/priorities.cpp.o.d"
+  "/root/repo/src/sched/replay.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/replay.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/replay.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/trace_export.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/trace_export.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/trace_export.cpp.o.d"
+  "/root/repo/src/sched/validator.cpp" "src/sched/CMakeFiles/edgesched_sched.dir/validator.cpp.o" "gcc" "src/sched/CMakeFiles/edgesched_sched.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/edgesched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/edgesched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edgesched_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeline/CMakeFiles/edgesched_timeline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/perturbation.cpp" "src/sim/CMakeFiles/edgesched_sim.dir/perturbation.cpp.o" "gcc" "src/sim/CMakeFiles/edgesched_sim.dir/perturbation.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/edgesched_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/edgesched_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/edgesched_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/edgesched_sim.dir/stats.cpp.o.d"
+  "/root/repo/src/sim/table.cpp" "src/sim/CMakeFiles/edgesched_sim.dir/table.cpp.o" "gcc" "src/sim/CMakeFiles/edgesched_sim.dir/table.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/edgesched_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/edgesched_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/edgesched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/edgesched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edgesched_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/edgesched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeline/CMakeFiles/edgesched_timeline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesched_sim.dir/perturbation.cpp.o"
+  "CMakeFiles/edgesched_sim.dir/perturbation.cpp.o.d"
+  "CMakeFiles/edgesched_sim.dir/runner.cpp.o"
+  "CMakeFiles/edgesched_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/edgesched_sim.dir/stats.cpp.o"
+  "CMakeFiles/edgesched_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/edgesched_sim.dir/table.cpp.o"
+  "CMakeFiles/edgesched_sim.dir/table.cpp.o.d"
+  "CMakeFiles/edgesched_sim.dir/workload.cpp.o"
+  "CMakeFiles/edgesched_sim.dir/workload.cpp.o.d"
+  "libedgesched_sim.a"
+  "libedgesched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgesched_sim.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeline/bandwidth_timeline.cpp" "src/timeline/CMakeFiles/edgesched_timeline.dir/bandwidth_timeline.cpp.o" "gcc" "src/timeline/CMakeFiles/edgesched_timeline.dir/bandwidth_timeline.cpp.o.d"
+  "/root/repo/src/timeline/link_timeline.cpp" "src/timeline/CMakeFiles/edgesched_timeline.dir/link_timeline.cpp.o" "gcc" "src/timeline/CMakeFiles/edgesched_timeline.dir/link_timeline.cpp.o.d"
+  "/root/repo/src/timeline/optimal_insertion.cpp" "src/timeline/CMakeFiles/edgesched_timeline.dir/optimal_insertion.cpp.o" "gcc" "src/timeline/CMakeFiles/edgesched_timeline.dir/optimal_insertion.cpp.o.d"
+  "/root/repo/src/timeline/processor_timeline.cpp" "src/timeline/CMakeFiles/edgesched_timeline.dir/processor_timeline.cpp.o" "gcc" "src/timeline/CMakeFiles/edgesched_timeline.dir/processor_timeline.cpp.o.d"
+  "/root/repo/src/timeline/rate_profile.cpp" "src/timeline/CMakeFiles/edgesched_timeline.dir/rate_profile.cpp.o" "gcc" "src/timeline/CMakeFiles/edgesched_timeline.dir/rate_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/edgesched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/edgesched_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesched_timeline.dir/bandwidth_timeline.cpp.o"
+  "CMakeFiles/edgesched_timeline.dir/bandwidth_timeline.cpp.o.d"
+  "CMakeFiles/edgesched_timeline.dir/link_timeline.cpp.o"
+  "CMakeFiles/edgesched_timeline.dir/link_timeline.cpp.o.d"
+  "CMakeFiles/edgesched_timeline.dir/optimal_insertion.cpp.o"
+  "CMakeFiles/edgesched_timeline.dir/optimal_insertion.cpp.o.d"
+  "CMakeFiles/edgesched_timeline.dir/processor_timeline.cpp.o"
+  "CMakeFiles/edgesched_timeline.dir/processor_timeline.cpp.o.d"
+  "CMakeFiles/edgesched_timeline.dir/rate_profile.cpp.o"
+  "CMakeFiles/edgesched_timeline.dir/rate_profile.cpp.o.d"
+  "libedgesched_timeline.a"
+  "libedgesched_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesched_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesched_util.dir/env.cpp.o"
+  "CMakeFiles/edgesched_util.dir/env.cpp.o.d"
+  "CMakeFiles/edgesched_util.dir/rng.cpp.o"
+  "CMakeFiles/edgesched_util.dir/rng.cpp.o.d"
+  "libedgesched_util.a"
+  "libedgesched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_test.dir/ba_test.cpp.o"
+  "CMakeFiles/ba_test.dir/ba_test.cpp.o.d"
+  "ba_test"
+  "ba_test.pdb"
+  "ba_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_timeline_test.dir/bandwidth_timeline_test.cpp.o"
+  "CMakeFiles/bandwidth_timeline_test.dir/bandwidth_timeline_test.cpp.o.d"
+  "bandwidth_timeline_test"
+  "bandwidth_timeline_test.pdb"
+  "bandwidth_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsa_test.dir/bbsa_test.cpp.o"
+  "CMakeFiles/bbsa_test.dir/bbsa_test.cpp.o.d"
+  "bbsa_test"
+  "bbsa_test.pdb"
+  "bbsa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

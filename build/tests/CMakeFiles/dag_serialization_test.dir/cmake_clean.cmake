@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_serialization_test.dir/dag_serialization_test.cpp.o"
+  "CMakeFiles/dag_serialization_test.dir/dag_serialization_test.cpp.o.d"
+  "dag_serialization_test"
+  "dag_serialization_test.pdb"
+  "dag_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

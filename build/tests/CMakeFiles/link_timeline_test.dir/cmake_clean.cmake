@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_timeline_test.dir/link_timeline_test.cpp.o"
+  "CMakeFiles/link_timeline_test.dir/link_timeline_test.cpp.o.d"
+  "link_timeline_test"
+  "link_timeline_test.pdb"
+  "link_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaheuristics_test.dir/metaheuristics_test.cpp.o"
+  "CMakeFiles/metaheuristics_test.dir/metaheuristics_test.cpp.o.d"
+  "metaheuristics_test"
+  "metaheuristics_test.pdb"
+  "metaheuristics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaheuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

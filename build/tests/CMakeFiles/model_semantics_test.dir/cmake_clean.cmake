@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_semantics_test.dir/model_semantics_test.cpp.o"
+  "CMakeFiles/model_semantics_test.dir/model_semantics_test.cpp.o.d"
+  "model_semantics_test"
+  "model_semantics_test.pdb"
+  "model_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

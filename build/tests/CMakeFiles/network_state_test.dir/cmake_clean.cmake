@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_state_test.dir/network_state_test.cpp.o"
+  "CMakeFiles/network_state_test.dir/network_state_test.cpp.o.d"
+  "network_state_test"
+  "network_state_test.pdb"
+  "network_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oihsa_test.dir/oihsa_test.cpp.o"
+  "CMakeFiles/oihsa_test.dir/oihsa_test.cpp.o.d"
+  "oihsa_test"
+  "oihsa_test.pdb"
+  "oihsa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oihsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

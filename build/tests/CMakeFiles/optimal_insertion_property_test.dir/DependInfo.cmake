@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optimal_insertion_property_test.cpp" "tests/CMakeFiles/optimal_insertion_property_test.dir/optimal_insertion_property_test.cpp.o" "gcc" "tests/CMakeFiles/optimal_insertion_property_test.dir/optimal_insertion_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/edgesched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/edgesched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/edgesched_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeline/CMakeFiles/edgesched_timeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/edgesched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/edgesched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_insertion_property_test.dir/optimal_insertion_property_test.cpp.o"
+  "CMakeFiles/optimal_insertion_property_test.dir/optimal_insertion_property_test.cpp.o.d"
+  "optimal_insertion_property_test"
+  "optimal_insertion_property_test.pdb"
+  "optimal_insertion_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_insertion_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packetized_test.dir/packetized_test.cpp.o"
+  "CMakeFiles/packetized_test.dir/packetized_test.cpp.o.d"
+  "packetized_test"
+  "packetized_test.pdb"
+  "packetized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packetized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priorities_test.dir/priorities_test.cpp.o"
+  "CMakeFiles/priorities_test.dir/priorities_test.cpp.o.d"
+  "priorities_test"
+  "priorities_test.pdb"
+  "priorities_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priorities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processor_timeline_test.dir/processor_timeline_test.cpp.o"
+  "CMakeFiles/processor_timeline_test.dir/processor_timeline_test.cpp.o.d"
+  "processor_timeline_test"
+  "processor_timeline_test.pdb"
+  "processor_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processor_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_profile_test.dir/rate_profile_test.cpp.o"
+  "CMakeFiles/rate_profile_test.dir/rate_profile_test.cpp.o.d"
+  "rate_profile_test"
+  "rate_profile_test.pdb"
+  "rate_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
