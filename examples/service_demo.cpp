@@ -1,0 +1,103 @@
+// Concurrent scheduling service demo.
+//
+// Drives svc::SchedulerService with a burst of concurrent requests —
+// several workflows × several algorithms, each submitted multiple times —
+// and prints the resulting cache-hit report and metrics dump. Usage:
+//
+//   service_demo [threads] [rounds]
+//
+// `threads` defaults to the hardware concurrency, `rounds` (how many
+// times the whole request mix is resubmitted) to 3; every round after the
+// first is served entirely from the schedule cache.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dag/generators.hpp"
+#include "net/builders.hpp"
+#include "svc/scheduler_service.hpp"
+#include "util/rng.hpp"
+
+using namespace edgesched;
+
+int main(int argc, char** argv) {
+  const std::size_t threads =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 0;
+  const std::size_t rounds =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
+
+  svc::SchedulerService service(
+      {.threads = threads, .cache_capacity = 256, .validate = true});
+  std::cout << "scheduler service: " << service.num_threads()
+            << " worker(s), cache capacity "
+            << service.cache().capacity() << "\n\n";
+
+  // The request mix: four workflows on two machines under three
+  // algorithms. shared_ptr inputs mean zero copies per request.
+  Rng rng(42);
+  std::vector<std::shared_ptr<const dag::TaskGraph>> graphs;
+  graphs.push_back(std::make_shared<const dag::TaskGraph>(
+      dag::fork_join(12, 4.0, 8.0)));
+  graphs.push_back(
+      std::make_shared<const dag::TaskGraph>(dag::chain(16, 3.0, 5.0)));
+  dag::LayeredDagParams params;
+  params.num_tasks = 40;
+  graphs.push_back(std::make_shared<const dag::TaskGraph>(
+      dag::random_layered(params, rng)));
+  params.num_tasks = 60;
+  graphs.push_back(std::make_shared<const dag::TaskGraph>(
+      dag::random_layered(params, rng)));
+
+  std::vector<std::shared_ptr<const net::Topology>> machines;
+  machines.push_back(std::make_shared<const net::Topology>(
+      net::switched_star(6, net::SpeedConfig{}, rng)));
+  machines.push_back(std::make_shared<const net::Topology>(
+      net::fat_tree(3, 2, net::SpeedConfig{}, rng)));
+
+  const std::vector<std::string> algorithms = {"ba", "oihsa", "bbsa"};
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::vector<std::future<svc::SchedulerService::SchedulePtr>> futures;
+    for (const auto& graph : graphs) {
+      for (const auto& machine : machines) {
+        for (const std::string& algorithm : algorithms) {
+          futures.push_back(service.submit(graph, machine, algorithm));
+        }
+      }
+    }
+    double makespan_sum = 0.0;
+    for (auto& future : futures) {
+      makespan_sum += future.get()->makespan();
+    }
+    const svc::CacheStats stats = service.cache().stats();
+    std::cout << "round " << round + 1 << ": " << futures.size()
+              << " requests, makespan sum " << std::fixed
+              << std::setprecision(2) << makespan_sum
+              << ", cache hits so far " << stats.hits << "/"
+              << stats.hits + stats.misses << "\n";
+  }
+
+  const svc::CacheStats stats = service.cache().stats();
+  std::cout << "\n-- cache-hit report --\n"
+            << "lookups    " << stats.hits + stats.misses << "\n"
+            << "hits       " << stats.hits << "\n"
+            << "misses     " << stats.misses << "\n"
+            << "hit rate   " << std::fixed << std::setprecision(1)
+            << 100.0 * stats.hit_rate() << " %\n"
+            << "entries    " << service.cache().size() << "\n"
+            << "evictions  " << stats.evictions << "\n";
+
+  std::cout << "\n-- metrics --\n" << service.metrics().text_dump();
+
+  // Every round after the first must be pure cache hits.
+  const std::size_t per_round =
+      graphs.size() * machines.size() * algorithms.size();
+  if (rounds > 1 && stats.hits != (rounds - 1) * per_round) {
+    std::cerr << "unexpected hit count\n";
+    return 1;
+  }
+  return 0;
+}

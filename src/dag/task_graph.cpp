@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "util/hash.hpp"
+
 namespace edgesched::dag {
 
 TaskId TaskGraph::add_task(double weight, std::string name) {
@@ -164,6 +166,21 @@ std::vector<TaskId> TaskGraph::topological_order() const {
 
 void TaskGraph::validate() const {
   throw_if(!is_acyclic(), "TaskGraph::validate: graph contains a cycle");
+}
+
+std::uint64_t TaskGraph::fingerprint() const noexcept {
+  Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(tasks_.size()));
+  for (const Task& t : tasks_) {
+    fp.mix(t.weight);
+  }
+  fp.mix(static_cast<std::uint64_t>(edges_.size()));
+  for (const Edge& e : edges_) {
+    fp.mix(static_cast<std::uint64_t>(e.src.value()));
+    fp.mix(static_cast<std::uint64_t>(e.dst.value()));
+    fp.mix(e.cost);
+  }
+  return fp.value();
 }
 
 double TaskGraph::total_computation() const noexcept {

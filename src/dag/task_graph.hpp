@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -117,6 +118,14 @@ class TaskGraph {
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Canonical 64-bit structural hash over everything a scheduler sees:
+  /// task count, every computation cost in task order, and every edge
+  /// (src, dst, cost) in edge order. Task and graph *names* are excluded —
+  /// two graphs differing only in labels schedule identically and share a
+  /// fingerprint. Deterministic across platforms and runs; used as the
+  /// content-address key of svc::ScheduleCache.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 
   /// Sum of all computation costs.
   [[nodiscard]] double total_computation() const noexcept;

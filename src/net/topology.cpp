@@ -2,6 +2,8 @@
 
 #include <queue>
 
+#include "util/hash.hpp"
+
 namespace edgesched::net {
 
 NodeId Topology::add_node(NodeKind kind, double speed, std::string name) {
@@ -136,6 +138,23 @@ bool Topology::processors_connected() const {
     }
   }
   return true;
+}
+
+std::uint64_t Topology::fingerprint() const noexcept {
+  Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(nodes_.size()));
+  for (const NetNode& n : nodes_) {
+    fp.mix(static_cast<std::uint64_t>(n.kind));
+    fp.mix(n.speed);
+  }
+  fp.mix(static_cast<std::uint64_t>(links_.size()));
+  for (const Link& l : links_) {
+    fp.mix(static_cast<std::uint64_t>(l.src.value()));
+    fp.mix(static_cast<std::uint64_t>(l.dst.value()));
+    fp.mix(l.speed);
+    fp.mix(static_cast<std::uint64_t>(l.domain.value()));
+  }
+  return fp.value();
 }
 
 void Topology::validate_route(const Route& route, NodeId from,

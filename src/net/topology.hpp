@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -139,6 +140,14 @@ class Topology {
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Canonical 64-bit structural hash over everything a scheduler sees:
+  /// node count, each node's kind and speed in insertion order, and every
+  /// link (src, dst, speed, contention domain) in insertion order. Node
+  /// and topology *names* are excluded — relabelled topologies schedule
+  /// identically and share a fingerprint. Deterministic across platforms;
+  /// used as the content-address key of svc::ScheduleCache.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 
  private:
   NodeId add_node(NodeKind kind, double speed, std::string name);

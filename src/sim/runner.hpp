@@ -4,8 +4,30 @@
 // function of CCR, averaged over processor counts and repetitions.
 // Fig. 2/4: the same improvement as a function of processor count,
 // averaged over CCR and repetitions.
+//
+// Parallel execution. Each sweep fans its instances out over a
+// svc::ThreadPool. Results are *deterministic by construction* and
+// byte-identical to a serial run regardless of thread count or execution
+// order:
+//   1. every instance's RNG seed is pre-generated from the master seed in
+//      the canonical (x, secondary, repetition) loop order, so instance i
+//      sees exactly the stream the serial loop would have given it;
+//   2. per-instance makespans are collected into a dense result buffer,
+//      and the SweepPoint statistics are accumulated *after* all workers
+//      finish, again in canonical loop order — Welford accumulation sees
+//      the same values in the same order, hence identical floats.
+//
+// Thread-safety contract for ProgressFn: after parallelisation the
+// progress callback is invoked from worker threads. The runner serialises
+// all invocations behind an internal mutex (a callback never runs
+// concurrently with itself), and `completed` is strictly increasing from
+// 1 to `total` — but calls happen on arbitrary threads, so the callback
+// must not touch thread-affine state (e.g. it may write to stderr, but
+// must not assume it runs on the caller's thread) and should return
+// quickly: it executes inside the accounting critical section.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -36,19 +58,27 @@ struct SweepPoint {
   RunningStats ba_makespan;
 };
 
-/// Progress callback: (completed instances, total instances).
+/// Progress callback: (completed instances, total instances). See the
+/// thread-safety contract in the header comment above.
 using ProgressFn = std::function<void(std::size_t, std::size_t)>;
 
+/// Worker threads a sweep will use for `threads == 0`: the
+/// EDGESCHED_THREADS environment variable when set to a positive value,
+/// otherwise std::thread::hardware_concurrency (at least 1).
+[[nodiscard]] std::size_t default_sweep_threads();
+
 /// Fig. 1 (homogeneous) / Fig. 3 (heterogeneous): improvement vs CCR.
+/// `threads`: 0 = default_sweep_threads(), 1 = run serially in the
+/// calling thread, n = fan out over n pool workers.
 [[nodiscard]] std::vector<SweepPoint> sweep_ccr(
     const ExperimentConfig& config, bool validate_schedules = false,
-    const ProgressFn& progress = {});
+    const ProgressFn& progress = {}, std::size_t threads = 0);
 
 /// Fig. 2 (homogeneous) / Fig. 4 (heterogeneous): improvement vs
 /// processor count.
 [[nodiscard]] std::vector<SweepPoint> sweep_processors(
     const ExperimentConfig& config, bool validate_schedules = false,
-    const ProgressFn& progress = {});
+    const ProgressFn& progress = {}, std::size_t threads = 0);
 
 /// Extension experiment (not in the paper): improvement vs task count.
 /// Each x point pins the instance size to `task_counts[i]` and averages
@@ -56,7 +86,8 @@ using ProgressFn = std::function<void(std::size_t, std::size_t)>;
 [[nodiscard]] std::vector<SweepPoint> sweep_task_counts(
     const ExperimentConfig& config,
     const std::vector<std::size_t>& task_counts,
-    bool validate_schedules = false, const ProgressFn& progress = {});
+    bool validate_schedules = false, const ProgressFn& progress = {},
+    std::size_t threads = 0);
 
 /// Percentage improvement of `candidate` over `baseline` makespans.
 [[nodiscard]] double improvement_pct(double baseline, double candidate);

@@ -1,0 +1,69 @@
+#include "svc/metrics.hpp"
+
+#include <sstream>
+
+namespace edgesched::svc {
+
+void Histogram::observe(double seconds) noexcept {
+  std::size_t bucket = kUpperBounds.size();  // +inf by default
+  for (std::size_t i = 0; i < kUpperBounds.size(); ++i) {
+    if (seconds <= kUpperBounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but not universally lowered;
+  // a CAS loop is portable and the histogram is not on a tight loop.
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + seconds,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::cumulative_le(std::size_t i) const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b < kNumBuckets; ++b) {
+    total += bucket(b);
+  }
+  return total;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+std::string MetricsRegistry::text_dump() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    os << "counter " << name << ' ' << counter->value() << '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    os << "histogram " << name << " count " << histogram->count() << " sum "
+       << histogram->sum() << '\n';
+    for (std::size_t i = 0; i < Histogram::kUpperBounds.size(); ++i) {
+      os << "histogram " << name << " le " << Histogram::kUpperBounds[i]
+         << ' ' << histogram->cumulative_le(i) << '\n';
+    }
+    os << "histogram " << name << " le +inf " << histogram->count() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace edgesched::svc

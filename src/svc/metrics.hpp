@@ -1,0 +1,94 @@
+// Thread-safe service metrics: counters and latency histograms.
+//
+// A MetricsRegistry is a named set of monotonic counters and fixed-bucket
+// latency histograms that worker threads update wait-free (atomics only)
+// and that `text_dump()` renders in a Prometheus-style line format:
+//
+//   counter svc_requests_total 128
+//   histogram svc_schedule_seconds count 96 sum 1.73e+00
+//   histogram svc_schedule_seconds le 1e-05 0
+//   ...
+//   histogram svc_schedule_seconds le +inf 96
+//
+// Metric objects are created on first use and live as long as the
+// registry; the references returned by `counter()` / `histogram()` stay
+// valid, so hot paths resolve a metric once and update it lock-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace edgesched::svc {
+
+/// Monotonic counter; wait-free increments.
+class Counter {
+ public:
+  void increment(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Latency histogram with decade buckets from 1 µs to 100 s. Values are
+/// seconds. Cumulative queries (`cumulative_le`) follow the Prometheus
+/// `le` convention.
+class Histogram {
+ public:
+  /// Bucket upper bounds in seconds; one implicit +inf bucket follows.
+  static constexpr std::array<double, 8> kUpperBounds = {
+      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 100.0};
+  static constexpr std::size_t kNumBuckets = kUpperBounds.size() + 1;
+
+  void observe(double seconds) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Observations in bucket `i` (i == kUpperBounds.size() is +inf).
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Observations <= kUpperBounds[i] (cumulative, Prometheus `le`).
+  [[nodiscard]] std::uint64_t cumulative_le(std::size_t i) const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named collection of counters and histograms.
+class MetricsRegistry {
+ public:
+  /// Returns the counter named `name`, creating it on first use. The
+  /// reference stays valid for the registry's lifetime.
+  [[nodiscard]] Counter& counter(const std::string& name);
+
+  /// Returns the histogram named `name`, creating it on first use.
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Renders every metric in the line format documented above, sorted by
+  /// name (deterministic output for tests and scraping).
+  [[nodiscard]] std::string text_dump() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace edgesched::svc

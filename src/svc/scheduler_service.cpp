@@ -1,0 +1,108 @@
+#include "svc/scheduler_service.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <utility>
+
+#include "sched/ba.hpp"
+#include "sched/bbsa.hpp"
+#include "sched/classic.hpp"
+#include "sched/oihsa.hpp"
+#include "sched/packetized.hpp"
+#include "sched/validator.hpp"
+#include "util/error.hpp"
+
+namespace edgesched::svc {
+
+SchedulerService::SchedulerService(ServiceConfig config)
+    : config_(config),
+      cache_(config.cache_capacity),
+      pool_(config.threads),
+      requests_(metrics_.counter("svc_requests_total")),
+      cache_hits_(metrics_.counter("svc_cache_hits_total")),
+      cache_misses_(metrics_.counter("svc_cache_misses_total")),
+      failures_(metrics_.counter("svc_failures_total")),
+      latency_(metrics_.histogram("svc_schedule_seconds")) {}
+
+SchedulerService::~SchedulerService() { shutdown(); }
+
+std::unique_ptr<sched::Scheduler> SchedulerService::make_scheduler(
+    std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "ba") {
+    return std::make_unique<sched::BasicAlgorithm>();
+  }
+  if (lower == "oihsa") {
+    return std::make_unique<sched::Oihsa>();
+  }
+  if (lower == "bbsa") {
+    return std::make_unique<sched::Bbsa>();
+  }
+  if (lower == "classic") {
+    return std::make_unique<sched::ClassicScheduler>();
+  }
+  if (lower == "packet" || lower == "packet-ba") {
+    return std::make_unique<sched::PacketizedBa>();
+  }
+  throw std::invalid_argument("SchedulerService: unknown algorithm \"" +
+                              std::string(name) + '"');
+}
+
+std::future<SchedulerService::SchedulePtr> SchedulerService::submit(
+    std::shared_ptr<const dag::TaskGraph> graph,
+    std::shared_ptr<const net::Topology> topology,
+    const std::string& algorithm) {
+  throw_if(graph == nullptr, "SchedulerService::submit: null graph");
+  throw_if(topology == nullptr, "SchedulerService::submit: null topology");
+  requests_.increment();
+  // Resolve the algorithm up front: unknown names should fail loudly at
+  // the call site, not asynchronously.
+  std::unique_ptr<sched::Scheduler> scheduler = make_scheduler(algorithm);
+
+  const std::uint64_t key =
+      request_fingerprint(*graph, *topology, scheduler->name());
+  if (SchedulePtr cached = cache_.get(key)) {
+    cache_hits_.increment();
+    std::promise<SchedulePtr> ready;
+    ready.set_value(std::move(cached));
+    return ready.get_future();
+  }
+  cache_misses_.increment();
+
+  // shared_ptr<Scheduler> because the lambda must be copyable for
+  // std::function (see ThreadPool::submit).
+  std::shared_ptr<sched::Scheduler> shared_scheduler = std::move(scheduler);
+  return pool_.submit([this, key, graph = std::move(graph),
+                       topology = std::move(topology),
+                       shared_scheduler]() -> SchedulePtr {
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      auto schedule = std::make_shared<const sched::Schedule>(
+          shared_scheduler->schedule(*graph, *topology));
+      if (config_.validate) {
+        sched::validate_or_throw(*graph, *topology, *schedule);
+      }
+      latency_.observe(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+      cache_.put(key, schedule);
+      return schedule;
+    } catch (...) {
+      failures_.increment();
+      throw;  // delivered to the caller through the future
+    }
+  });
+}
+
+SchedulerService::SchedulePtr SchedulerService::schedule_now(
+    const dag::TaskGraph& graph, const net::Topology& topology,
+    const std::string& algorithm) {
+  return submit(std::make_shared<const dag::TaskGraph>(graph),
+                std::make_shared<const net::Topology>(topology), algorithm)
+      .get();
+}
+
+}  // namespace edgesched::svc

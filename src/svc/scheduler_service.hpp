@@ -1,0 +1,113 @@
+// Concurrent scheduling service: job API over the thread pool + cache.
+//
+// The service turns the scheduler library into something that absorbs
+// many concurrent requests:
+//
+//          submit(graph, topology, algorithm)
+//                        |
+//                  fingerprint key
+//                        |
+//              cache hit -+- cache miss
+//                 |              |
+//          ready future     ThreadPool job ----> Scheduler::schedule
+//                                |                      |
+//                           cache.put  <------  shared_ptr<const Schedule>
+//
+// Requests are accepted as shared_ptr<const TaskGraph/Topology> so that a
+// client can submit many requests against the same objects without
+// copying them per job; the service keeps them alive until the job ran.
+// Results come back as std::future<shared_ptr<const Schedule>>; scheduler
+// exceptions propagate through the future.
+//
+// Every accepted request increments `svc_requests_total`; completed
+// schedules record their wall-clock latency in `svc_schedule_seconds`,
+// and cache traffic shows up both in the cache's own stats() and in the
+// `svc_cache_{hits,misses}_total` counters.
+//
+// Concurrency notes: all members are thread-safe. Two concurrent submits
+// of the same not-yet-cached request both compute (last put wins) — the
+// cache deduplicates storage, not in-flight work; for the pure functions
+// served here recomputation is merely redundant, never wrong.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "dag/task_graph.hpp"
+#include "net/topology.hpp"
+#include "sched/scheduler.hpp"
+#include "svc/metrics.hpp"
+#include "svc/schedule_cache.hpp"
+#include "svc/thread_pool.hpp"
+
+namespace edgesched::svc {
+
+struct ServiceConfig {
+  /// Worker threads; 0 means hardware concurrency.
+  std::size_t threads = 0;
+  /// Maximum cached schedules (LRU beyond that).
+  std::size_t cache_capacity = 1024;
+  /// Run every computed schedule through sched::validate_or_throw.
+  bool validate = false;
+};
+
+class SchedulerService {
+ public:
+  using SchedulePtr = ScheduleCache::SchedulePtr;
+
+  explicit SchedulerService(ServiceConfig config = {});
+
+  /// Drains in-flight jobs, then stops the workers.
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  /// Enqueues one scheduling request. `algorithm` is resolved through
+  /// `make_scheduler` immediately, so an unknown name throws here rather
+  /// than through the future. Cache hits resolve the future immediately
+  /// without touching the pool.
+  [[nodiscard]] std::future<SchedulePtr> submit(
+      std::shared_ptr<const dag::TaskGraph> graph,
+      std::shared_ptr<const net::Topology> topology,
+      const std::string& algorithm);
+
+  /// Convenience wrapper: submit and wait. Copies the inputs into shared
+  /// ownership; prefer `submit` with shared_ptr when issuing batches.
+  [[nodiscard]] SchedulePtr schedule_now(const dag::TaskGraph& graph,
+                                         const net::Topology& topology,
+                                         const std::string& algorithm);
+
+  [[nodiscard]] const ScheduleCache& cache() const noexcept {
+    return cache_;
+  }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return pool_.num_threads();
+  }
+
+  /// Stops accepting requests and drains workers (idempotent).
+  void shutdown() { pool_.shutdown(); }
+
+  /// Algorithm factory. Accepted names (case-insensitive): "ba", "oihsa",
+  /// "bbsa", "classic", "packet" / "packet-ba". Throws
+  /// std::invalid_argument for anything else.
+  [[nodiscard]] static std::unique_ptr<sched::Scheduler> make_scheduler(
+      std::string_view name);
+
+ private:
+  ServiceConfig config_;
+  MetricsRegistry metrics_;
+  ScheduleCache cache_;
+  ThreadPool pool_;
+  Counter& requests_;
+  Counter& cache_hits_;
+  Counter& cache_misses_;
+  Counter& failures_;
+  Histogram& latency_;
+};
+
+}  // namespace edgesched::svc

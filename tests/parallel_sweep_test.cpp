@@ -1,0 +1,110 @@
+// Determinism of the parallelised sweep runner: for any thread count the
+// SweepPoint statistics must be *exactly* (bit-for-bit) those of the
+// serial run — the acceptance contract of the service-layer rewrite.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "sim/workload.hpp"
+
+namespace edgesched::sim {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config = ExperimentConfig::defaults(false);
+  config.ccr_values = {0.5, 2.0, 5.0};
+  config.processor_counts = {2, 4};
+  config.tasks_min = 12;
+  config.tasks_max = 20;
+  config.repetitions = 2;
+  return config;
+}
+
+void expect_identical(const std::vector<SweepPoint>& serial,
+                      const std::vector<SweepPoint>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].x, parallel[i].x);
+    for (const auto& [s, p] :
+         {std::pair{&serial[i].oihsa_improvement_pct,
+                    &parallel[i].oihsa_improvement_pct},
+          std::pair{&serial[i].bbsa_improvement_pct,
+                    &parallel[i].bbsa_improvement_pct},
+          std::pair{&serial[i].ba_makespan, &parallel[i].ba_makespan}}) {
+      EXPECT_EQ(s->count(), p->count());
+      // EXPECT_EQ on doubles is exact equality: byte-identical stats.
+      EXPECT_EQ(s->mean(), p->mean());
+      EXPECT_EQ(s->variance(), p->variance());
+      EXPECT_EQ(s->min(), p->min());
+      EXPECT_EQ(s->max(), p->max());
+    }
+  }
+}
+
+TEST(ParallelSweep, CcrSweepMatchesSerialExactly) {
+  const auto serial = sweep_ccr(tiny_config(), false, {}, /*threads=*/1);
+  const auto parallel = sweep_ccr(tiny_config(), false, {}, /*threads=*/4);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelSweep, ProcessorSweepMatchesSerialExactly) {
+  const auto serial =
+      sweep_processors(tiny_config(), false, {}, /*threads=*/1);
+  const auto parallel =
+      sweep_processors(tiny_config(), false, {}, /*threads=*/3);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelSweep, TaskCountSweepMatchesSerialExactly) {
+  ExperimentConfig config = tiny_config();
+  config.ccr_values = {1.0};
+  const std::vector<std::size_t> task_counts = {10, 16};
+  const auto serial =
+      sweep_task_counts(config, task_counts, false, {}, /*threads=*/1);
+  const auto parallel =
+      sweep_task_counts(config, task_counts, false, {}, /*threads=*/4);
+  expect_identical(serial, parallel);
+}
+
+TEST(ParallelSweep, ValidatedParallelSweepSucceeds) {
+  ExperimentConfig config = tiny_config();
+  config.ccr_values = {1.0};
+  config.repetitions = 1;
+  const auto points =
+      sweep_ccr(config, /*validate_schedules=*/true, {}, /*threads=*/4);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].oihsa_improvement_pct.count(), 2u);
+}
+
+TEST(ParallelSweep, ProgressIsSerialisedMonotonicAndComplete) {
+  const ExperimentConfig config = tiny_config();
+  const std::size_t expected_total =
+      config.ccr_values.size() * config.processor_counts.size() *
+      config.repetitions;
+  std::mutex seen_mutex;  // the runner serialises calls; taking the lock
+                          // here must therefore never contend with itself
+  std::vector<std::size_t> seen;
+  const auto points = sweep_ccr(
+      config, false,
+      [&](std::size_t done, std::size_t total) {
+        const std::lock_guard<std::mutex> lock(seen_mutex);
+        EXPECT_EQ(total, expected_total);
+        seen.push_back(done);
+      },
+      /*threads=*/4);
+  ASSERT_EQ(points.size(), config.ccr_values.size());
+  ASSERT_EQ(seen.size(), expected_total);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i + 1);  // strictly increasing 1..total
+  }
+}
+
+TEST(ParallelSweep, DefaultThreadsRespectsEnvironment) {
+  EXPECT_GE(default_sweep_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace edgesched::sim
