@@ -14,6 +14,7 @@
 #include "sim/runner.hpp"
 #include "sim/stats.hpp"
 #include "sim/workload.hpp"
+#include "telemetry.hpp"
 #include "util/env.hpp"
 
 namespace edgesched::bench {
@@ -23,9 +24,12 @@ struct Variant {
   std::unique_ptr<sched::Scheduler> scheduler;
 };
 
+/// When `report` is given, the per-variant means are appended under
+/// "ablations" -> title (one binary may run several ablations).
 inline void run_ablation(const std::string& title,
                          std::vector<Variant> variants,
-                         bool heterogeneous = false) {
+                         bool heterogeneous = false,
+                         obs::BenchReport* report = nullptr) {
   sim::ExperimentConfig config =
       sim::ExperimentConfig::defaults(heterogeneous);
   // Ablations need fewer axis points than the figure sweeps.
@@ -80,6 +84,25 @@ inline void run_ablation(const std::string& title,
     std::cout << std::setprecision(6);
   }
   std::cout << "\n";
+
+  if (report != nullptr) {
+    obs::JsonValue series = obs::JsonValue::array();
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      obs::JsonValue entry = obs::JsonValue::object();
+      entry.set("label", obs::JsonValue(variants[v].label));
+      entry.set("mean_makespan", obs::JsonValue(makespans[v].mean()));
+      entry.set("improvement_pct_mean",
+                obs::JsonValue(improvements[v].mean()));
+      series.push(std::move(entry));
+    }
+    if (!report->root().contains("ablations")) {
+      report->root().set("ablations", obs::JsonValue::object());
+    }
+    // set() replaces the whole member, so rebuild the object.
+    obs::JsonValue ablations = report->root().at("ablations");
+    ablations.set(title, std::move(series));
+    report->root().set("ablations", std::move(ablations));
+  }
 }
 
 }  // namespace edgesched::bench

@@ -4,7 +4,8 @@
 #include "sched/bbsa.hpp"
 #include "sched/oihsa.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  edgesched::bench::TelemetryScope telemetry("", &argc, argv);
   using edgesched::bench::Variant;
   using edgesched::sched::Bbsa;
   using edgesched::sched::Oihsa;
@@ -28,6 +29,7 @@ int main() {
   variants.push_back(
       Variant{"BBSA, decreasing cost", std::make_unique<Bbsa>(b_cost)});
   edgesched::bench::run_ablation("edge scheduling order",
-                                 std::move(variants));
+                                 std::move(variants), false,
+                                 &telemetry.report());
   return 0;
 }

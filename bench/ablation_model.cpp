@@ -10,7 +10,8 @@
 #include "sched/ba.hpp"
 #include "sched/oihsa.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  edgesched::bench::TelemetryScope telemetry("", &argc, argv);
   using edgesched::bench::Variant;
   using edgesched::sched::BaProcessorSelection;
   using edgesched::sched::BasicAlgorithm;
@@ -25,7 +26,8 @@ int main() {
     variants.push_back(Variant{"OIHSA, append placement",
                                std::make_unique<Oihsa>(append)});
     edgesched::bench::run_ablation("task placement policy",
-                                   std::move(variants));
+                                   std::move(variants), false,
+                                 &telemetry.report());
   }
   {
     std::vector<Variant> variants;
@@ -36,7 +38,8 @@ int main() {
     variants.push_back(Variant{"OIHSA, eager shipping",
                                std::make_unique<Oihsa>(eager)});
     edgesched::bench::run_ablation("communication departure",
-                                   std::move(variants));
+                                   std::move(variants), false,
+                                 &telemetry.report());
   }
   {
     std::vector<Variant> variants;
@@ -48,7 +51,8 @@ int main() {
                                std::make_unique<BasicAlgorithm>(tentative)});
     variants.push_back(Variant{"OIHSA", std::make_unique<Oihsa>()});
     edgesched::bench::run_ablation("BA processor selection",
-                                   std::move(variants));
+                                   std::move(variants), false,
+                                 &telemetry.report());
   }
   return 0;
 }

@@ -5,7 +5,8 @@
 #include "sched/ba.hpp"
 #include "sched/packetized.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  edgesched::bench::TelemetryScope telemetry("", &argc, argv);
   using edgesched::bench::Variant;
   using edgesched::sched::BasicAlgorithm;
   using edgesched::sched::PacketizedBa;
@@ -25,6 +26,7 @@ int main() {
         Variant{label, std::make_unique<PacketizedBa>(options)});
   }
   edgesched::bench::run_ablation("circuit vs packet switching",
-                                 std::move(variants));
+                                 std::move(variants), false,
+                                 &telemetry.report());
   return 0;
 }

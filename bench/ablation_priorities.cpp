@@ -4,7 +4,8 @@
 #include "ablation_common.hpp"
 #include "sched/oihsa.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  edgesched::bench::TelemetryScope telemetry("", &argc, argv);
   using edgesched::bench::Variant;
   using edgesched::sched::Oihsa;
   using edgesched::sched::PriorityScheme;
@@ -24,6 +25,7 @@ int main() {
   variants.push_back(
       Variant{"OIHSA, tl + bl", std::make_unique<Oihsa>(tlbl)});
   edgesched::bench::run_ablation("task priority scheme",
-                                 std::move(variants));
+                                 std::move(variants), false,
+                                 &telemetry.report());
   return 0;
 }

@@ -3,7 +3,8 @@
 #include "ablation_common.hpp"
 #include "sched/oihsa.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  edgesched::bench::TelemetryScope telemetry("", &argc, argv);
   using edgesched::bench::Variant;
   using edgesched::sched::Oihsa;
 
@@ -18,6 +19,7 @@ int main() {
   variants.push_back(Variant{"OIHSA + modified routing",
                              std::make_unique<Oihsa>(dijkstra)});
   edgesched::bench::run_ablation("minimal vs workload-aware routing",
-                                 std::move(variants));
+                                 std::move(variants), false,
+                                 &telemetry.report());
   return 0;
 }

@@ -10,7 +10,10 @@
 #include "sim/workload.hpp"
 #include "util/env.hpp"
 
-int main() {
+#include "telemetry.hpp"
+
+int main(int argc, char** argv) {
+  edgesched::bench::TelemetryScope telemetry("", &argc, argv);
   using namespace edgesched;
   sim::ExperimentConfig config = sim::ExperimentConfig::defaults(false);
   config.ccr_values = {1.0, 5.0};

@@ -2,8 +2,9 @@
 // OIHSA and BBSA over BA versus CCR, averaged over processor counts.
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return edgesched::bench::run_figure(
+      argc, argv,
       "Figure 1", "homogeneous systems, improvement vs CCR",
       /*heterogeneous=*/false, /*x_is_ccr=*/true);
 }

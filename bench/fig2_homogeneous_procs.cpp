@@ -2,8 +2,9 @@
 // OIHSA and BBSA over BA versus processor count, averaged over CCR.
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return edgesched::bench::run_figure(
+      argc, argv,
       "Figure 2", "homogeneous systems, improvement vs processor count",
       /*heterogeneous=*/false, /*x_is_ccr=*/false);
 }

@@ -2,8 +2,9 @@
 // U(1,10)), % improved makespan of OIHSA and BBSA over BA versus CCR.
 #include "fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return edgesched::bench::run_figure(
+      argc, argv,
       "Figure 3", "heterogeneous systems, improvement vs CCR",
       /*heterogeneous=*/true, /*x_is_ccr=*/true);
 }

@@ -18,12 +18,15 @@
 #include "sim/runner.hpp"
 #include "sim/table.hpp"
 #include "sim/workload.hpp"
+#include "telemetry.hpp"
 #include "util/env.hpp"
 
 namespace edgesched::bench {
 
-inline int run_figure(const std::string& figure, const std::string& title,
-                      bool heterogeneous, bool x_is_ccr) {
+inline int run_figure(int argc, char** argv, const std::string& figure,
+                      const std::string& title, bool heterogeneous,
+                      bool x_is_ccr) {
+  TelemetryScope telemetry("", &argc, argv);
   sim::ExperimentConfig config =
       sim::ExperimentConfig::defaults(heterogeneous);
   const auto max_procs = static_cast<std::size_t>(
@@ -59,6 +62,22 @@ inline int run_figure(const std::string& figure, const std::string& title,
   sim::print_sweep_chart(std::cout, x_label, points);
   std::cout << "\ncsv:\n";
   sim::write_sweep_csv(std::cout, x_label, points);
+
+  telemetry.report().set_string("figure", figure);
+  telemetry.report().set_string("x_label", x_label);
+  obs::JsonValue series = obs::JsonValue::array();
+  for (const sim::SweepPoint& point : points) {
+    obs::JsonValue entry = obs::JsonValue::object();
+    entry.set("x", obs::JsonValue(point.x));
+    entry.set("ba_makespan_mean",
+              obs::JsonValue(point.ba_makespan.mean()));
+    entry.set("oihsa_improvement_pct_mean",
+              obs::JsonValue(point.oihsa_improvement_pct.mean()));
+    entry.set("bbsa_improvement_pct_mean",
+              obs::JsonValue(point.bbsa_improvement_pct.mean()));
+    series.push(std::move(entry));
+  }
+  telemetry.report().root().set("points", std::move(series));
   return 0;
 }
 

@@ -1,0 +1,23 @@
+// Custom google-benchmark main shared by the micro binaries.
+//
+// Replaces benchmark::benchmark_main so every micro run also emits
+// BENCH_<name>.json telemetry (wall time, counters, span totals) and
+// understands the common --trace/--decisions/--metrics flags. Tracing
+// defaults to kDisabled here — the measured loops must run the tracer's
+// null path, which is exactly what micro_obs quantifies — while the
+// figure and ablation benches default to kAggregate.
+#include <benchmark/benchmark.h>
+
+#include "telemetry.hpp"
+
+int main(int argc, char** argv) {
+  edgesched::bench::TelemetryScope telemetry(
+      "", &argc, argv, edgesched::obs::TraceMode::kDisabled);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

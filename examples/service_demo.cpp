@@ -4,12 +4,17 @@
 // several workflows × several algorithms, each submitted multiple times —
 // and prints the resulting cache-hit report and metrics dump. Usage:
 //
-//   service_demo [threads] [rounds]
+//   service_demo [--trace <file>] [--metrics] [threads] [rounds]
 //
 // `threads` defaults to the hardware concurrency, `rounds` (how many
 // times the whole request mix is resubmitted) to 3; every round after the
-// first is served entirely from the schedule cache.
+// first is served entirely from the schedule cache. `--trace` records the
+// run with the obs tracer and writes a Chrome trace-event JSON (load it
+// in Perfetto to see the pool workers executing scheduler phases);
+// `--metrics` appends the global hot-path counter dump.
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
@@ -18,16 +23,37 @@
 
 #include "dag/generators.hpp"
 #include "net/builders.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "svc/scheduler_service.hpp"
 #include "util/rng.hpp"
 
 using namespace edgesched;
 
 int main(int argc, char** argv) {
+  std::string trace_path;
+  bool dump_metrics = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
   const std::size_t threads =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 0;
+      positional.size() > 0
+          ? static_cast<std::size_t>(std::atoi(positional[0]))
+          : 0;
   const std::size_t rounds =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
+      positional.size() > 1
+          ? static_cast<std::size_t>(std::atoi(positional[1]))
+          : 3;
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().set_mode(obs::TraceMode::kFull);
+  }
 
   svc::SchedulerService service(
       {.threads = threads, .cache_capacity = 256, .validate = true});
@@ -91,6 +117,22 @@ int main(int argc, char** argv) {
             << "evictions  " << stats.evictions << "\n";
 
   std::cout << "\n-- metrics --\n" << service.metrics().text_dump();
+
+  if (dump_metrics) {
+    std::cout << "\n-- global hot-path counters --\n"
+              << obs::global_metrics().text_dump();
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot open " << trace_path << "\n";
+      return 1;
+    }
+    obs::Tracer::instance().write_chrome_trace(out);
+    std::cout << "\nwrote trace " << trace_path << " ("
+              << obs::Tracer::instance().event_count() << " events, "
+              << obs::Tracer::instance().thread_count() << " threads)\n";
+  }
 
   // Every round after the first must be pure cache hits.
   const std::size_t per_round =

@@ -42,11 +42,23 @@ Route bfs_route(const Topology& topology, NodeId from, NodeId to) {
   return route;
 }
 
+RouteCache::~RouteCache() {
+  if (hits_ > 0) {
+    obs::hot_counters().route_cache_hits.increment(hits_);
+  }
+  if (misses_ > 0) {
+    obs::hot_counters().route_cache_misses.increment(misses_);
+  }
+}
+
 const Route& RouteCache::route(NodeId from, NodeId to) {
   const auto key = std::make_pair(from, to);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     it = cache_.emplace(key, bfs_route(*topology_, from, to)).first;
+    ++misses_;
+  } else {
+    ++hits_;
   }
   return it->second;
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "obs/counters.hpp"
 
 namespace edgesched::net {
 
@@ -36,12 +38,22 @@ class RouteCache {
  public:
   explicit RouteCache(const Topology& topology) : topology_(&topology) {}
 
+  /// Flushes the accumulated hit/miss tallies into the global
+  /// `net_route_cache_{hits,misses}_total` counters — batched here so the
+  /// per-lookup cost stays a plain integer increment.
+  ~RouteCache();
+
+  RouteCache(const RouteCache&) = delete;
+  RouteCache& operator=(const RouteCache&) = delete;
+
   /// Returns the cached minimal route, computing it on first use.
   const Route& route(NodeId from, NodeId to);
 
  private:
   const Topology* topology_;
   std::map<std::pair<NodeId, NodeId>, Route> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 /// Static weighted shortest path; `weight(link)` must be non-negative.
@@ -113,6 +125,17 @@ template <typename Probe>
   };
   std::vector<Label> labels(topology.num_nodes());
 
+  // Relaxation tally, flushed as one atomic add however the search ends
+  // (batching keeps the per-relaxation cost a plain increment).
+  struct RelaxationTally {
+    std::uint64_t count = 0;
+    ~RelaxationTally() {
+      if (count > 0) {
+        obs::hot_counters().dijkstra_relaxations.increment(count);
+      }
+    }
+  } relaxations;
+
   struct QueueEntry {
     double finish;
     double start;
@@ -150,6 +173,7 @@ template <typename Probe>
       if (next_label.settled) {
         continue;
       }
+      ++relaxations.count;
       const ProbeResult result =
           probe(l, ProbeState{current.start, current.finish});
       // Lexicographic relaxation (finish, start, hops): on an idle

@@ -1,0 +1,32 @@
+#include "obs/counters.hpp"
+
+namespace edgesched::obs {
+
+svc::MetricsRegistry& global_metrics() {
+  static svc::MetricsRegistry* registry = new svc::MetricsRegistry();
+  return *registry;
+}
+
+HotCounters& hot_counters() {
+  static HotCounters* counters = [] {
+    svc::MetricsRegistry& m = global_metrics();
+    return new HotCounters{
+        m.counter("sched_dijkstra_relaxations_total"),
+        m.counter("sched_link_probes_total"),
+        m.counter("sched_optimal_probes_total"),
+        m.counter("sched_deferral_scans_total"),
+        m.counter("sched_slot_shifts_total"),
+        m.counter("sched_deferred_insertions_total"),
+        m.counter("sched_bandwidth_probes_total"),
+        m.counter("net_route_cache_hits_total"),
+        m.counter("net_route_cache_misses_total"),
+        m.counter("sched_tasks_placed_total"),
+        m.counter("sched_edges_routed_total"),
+        m.counter("svc_pool_jobs_total"),
+        m.counter("sim_sweep_instances_total"),
+    };
+  }();
+  return *counters;
+}
+
+}  // namespace edgesched::obs

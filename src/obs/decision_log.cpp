@@ -1,0 +1,143 @@
+#include "obs/decision_log.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace edgesched::obs {
+
+namespace detail {
+std::atomic<DecisionLog*> g_active_decision_log{nullptr};
+}  // namespace detail
+
+namespace {
+
+JsonValue to_json(const TaskDecision& d) {
+  JsonValue candidates = JsonValue::array();
+  for (const ProcessorCandidate& c : d.candidates) {
+    candidates.push(JsonValue::object()
+                        .set("processor", JsonValue(c.processor))
+                        .set("ready_estimate", JsonValue(c.ready_estimate))
+                        .set("estimate", JsonValue(c.estimate)));
+  }
+  return JsonValue::object()
+      .set("type", JsonValue("task"))
+      .set("algorithm", JsonValue(d.algorithm))
+      .set("task", JsonValue(d.task))
+      .set("chosen_processor", JsonValue(d.chosen_processor))
+      .set("chosen_estimate", JsonValue(d.chosen_estimate))
+      .set("candidates", std::move(candidates));
+}
+
+JsonValue to_json(const EdgeDecision& d) {
+  JsonValue hops = JsonValue::array();
+  for (const EdgeHop& hop : d.hops) {
+    hops.push(JsonValue::object()
+                  .set("link", JsonValue(hop.link))
+                  .set("start", JsonValue(hop.start))
+                  .set("finish", JsonValue(hop.finish)));
+  }
+  return JsonValue::object()
+      .set("type", JsonValue("edge"))
+      .set("algorithm", JsonValue(d.algorithm))
+      .set("edge", JsonValue(d.edge))
+      .set("src_task", JsonValue(d.src_task))
+      .set("dst_task", JsonValue(d.dst_task))
+      .set("local", JsonValue(d.local))
+      .set("ship_time", JsonValue(d.ship_time))
+      .set("arrival", JsonValue(d.arrival))
+      .set("hops", std::move(hops));
+}
+
+JsonValue to_json(const InsertionDecision& d) {
+  return JsonValue::object()
+      .set("type", JsonValue("insertion"))
+      .set("edge", JsonValue(d.edge))
+      .set("link", JsonValue(d.link))
+      .set("outcome", JsonValue(d.deferral ? "deferral" : "first_fit"))
+      .set("shifts", JsonValue(d.shifts))
+      .set("slack_consumed", JsonValue(d.slack_consumed))
+      .set("start", JsonValue(d.start))
+      .set("finish", JsonValue(d.finish));
+}
+
+}  // namespace
+
+void DecisionLog::record(TaskDecision decision) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_ != nullptr) {
+    *sink_ << to_json(decision).dump() << '\n';
+    return;
+  }
+  order_.emplace_back(Kind::kTask, tasks_.size());
+  tasks_.push_back(std::move(decision));
+}
+
+void DecisionLog::record(EdgeDecision decision) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_ != nullptr) {
+    *sink_ << to_json(decision).dump() << '\n';
+    return;
+  }
+  order_.emplace_back(Kind::kEdge, edges_.size());
+  edges_.push_back(std::move(decision));
+}
+
+void DecisionLog::record(InsertionDecision decision) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_ != nullptr) {
+    *sink_ << to_json(decision).dump() << '\n';
+    return;
+  }
+  order_.emplace_back(Kind::kInsertion, insertions_.size());
+  insertions_.push_back(decision);
+}
+
+std::vector<TaskDecision> DecisionLog::task_decisions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_;
+}
+
+std::vector<EdgeDecision> DecisionLog::edge_decisions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return edges_;
+}
+
+std::vector<InsertionDecision> DecisionLog::insertion_decisions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return insertions_;
+}
+
+std::size_t DecisionLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return order_.size();
+}
+
+void DecisionLog::write_jsonl(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [kind, index] : order_) {
+    switch (kind) {
+      case Kind::kTask:
+        os << to_json(tasks_[index]).dump() << '\n';
+        break;
+      case Kind::kEdge:
+        os << to_json(edges_[index]).dump() << '\n';
+        break;
+      case Kind::kInsertion:
+        os << to_json(insertions_[index]).dump() << '\n';
+        break;
+    }
+  }
+}
+
+DecisionLog* DecisionLog::active() noexcept { return active_decision_log(); }
+
+ScopedDecisionLog::ScopedDecisionLog(DecisionLog& log)
+    : previous_(detail::g_active_decision_log.exchange(
+          &log, std::memory_order_acq_rel)) {}
+
+ScopedDecisionLog::~ScopedDecisionLog() {
+  detail::g_active_decision_log.store(previous_, std::memory_order_release);
+}
+
+}  // namespace edgesched::obs

@@ -1,0 +1,94 @@
+// Minimal JSON value: build, serialise, parse.
+//
+// The observability layer emits three machine-readable artifacts — Chrome
+// trace-event files, JSONL decision logs and BENCH_*.json telemetry — and
+// the test suite plus the CI checker must be able to read them back
+// without external dependencies. This is a deliberately small tree value:
+// objects are sorted maps (deterministic serialisation), numbers are
+// doubles that print as integers when they are integral, and the parser
+// accepts exactly the JSON subset RFC 8259 defines (no comments, no
+// trailing commas).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace edgesched::obs {
+
+/// Escapes a string for embedding between JSON double quotes.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}
+  /// Any integral type widens to double (exact below 2^53, which covers
+  /// every counter this codebase emits).
+  template <typename T>
+    requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+  JsonValue(T value) : JsonValue(static_cast<double>(value)) {}
+  JsonValue(std::string value)
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(const char* value) : JsonValue(std::string(value)) {}
+
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+
+  /// Object member assignment; converts a null value to an object first.
+  JsonValue& set(const std::string& key, JsonValue value);
+  /// Array append; converts a null value to an array first.
+  JsonValue& push(JsonValue value);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Object member / array element access; throws std::out_of_range.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  /// Object and array element count; 0 for scalars.
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] const std::map<std::string, JsonValue>& members() const {
+    return object_;
+  }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Serialises; `indent >= 0` pretty-prints with that many leading
+  /// spaces per level, `indent < 0` emits the compact single-line form.
+  void write(std::ostream& os, int indent = -1) const;
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (throws std::runtime_error with the
+  /// byte offset on malformed input; trailing garbage is an error).
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+ private:
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace edgesched::obs

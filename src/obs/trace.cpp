@@ -1,0 +1,202 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace edgesched::obs {
+
+namespace detail {
+std::atomic<int> g_trace_mode{static_cast<int>(TraceMode::kDisabled)};
+}  // namespace detail
+
+/// Per-thread recording state. Guarded by its own mutex: the owning
+/// thread is the only writer, so the lock is uncontended on the hot path,
+/// but it makes concurrent exports (and TSan) happy.
+struct Tracer::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::unordered_map<const char*, SpanTotal> totals;
+  std::uint64_t dropped = 0;
+  std::uint64_t tid = 0;
+};
+
+namespace {
+
+/// Registry of every thread's buffer. Buffers are never removed (a
+/// handful of pointers per thread lifetime), so raw thread_local pointers
+/// into it stay valid forever.
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Tracer::ThreadBuffer>> buffers;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* instance = new BufferRegistry();
+  return *instance;
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = owned.get();
+    BufferRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    raw->tid = reg.buffers.size() + 1;
+    reg.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buffer;
+}
+
+void Tracer::set_mode(TraceMode mode) noexcept {
+  detail::g_trace_mode.store(static_cast<int>(mode),
+                             std::memory_order_relaxed);
+}
+
+TraceMode Tracer::mode() const noexcept {
+  return static_cast<TraceMode>(
+      detail::g_trace_mode.load(std::memory_order_relaxed));
+}
+
+void Tracer::clear() {
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buffer : reg.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->totals.clear();
+    buffer->dropped = 0;
+  }
+}
+
+void Tracer::record(const TraceEvent& event) {
+  ThreadBuffer& buffer = local_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  SpanTotal& total = buffer.totals[event.name];
+  ++total.count;
+  total.total_ns += event.duration_ns;
+  if (mode() == TraceMode::kFull) {
+    if (buffer.events.size() < kMaxEventsPerThread) {
+      buffer.events.push_back(event);
+    } else {
+      ++buffer.dropped;
+    }
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t count = 0;
+  for (const auto& buffer : reg.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+std::uint64_t Tracer::dropped() const {
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : reg.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+std::size_t Tracer::thread_count() const {
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t threads = 0;
+  for (const auto& buffer : reg.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    if (!buffer->events.empty() || !buffer->totals.empty()) {
+      ++threads;
+    }
+  }
+  return threads;
+}
+
+std::map<std::string, SpanTotal> Tracer::span_totals() const {
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::map<std::string, SpanTotal> merged;
+  for (const auto& buffer : reg.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const auto& [name, total] : buffer->totals) {
+      SpanTotal& slot = merged[name];
+      slot.count += total.count;
+      slot.total_ns += total.total_ns;
+    }
+  }
+  return merged;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  // Streamed, not built as a JsonValue: full traces can hold millions of
+  // events and the writer must not double their memory footprint.
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buffer : reg.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const TraceEvent& event : buffer->events) {
+      if (!first) {
+        os << ',';
+      }
+      first = false;
+      // Timestamps are microseconds; print with fixed millisecond-epoch
+      // precision so large steady-clock values survive formatting.
+      char ts[48];
+      char dur[48];
+      std::snprintf(ts, sizeof(ts), "%.3f",
+                    static_cast<double>(event.start_ns) / 1000.0);
+      std::snprintf(dur, sizeof(dur), "%.3f",
+                    static_cast<double>(event.duration_ns) / 1000.0);
+      os << "\n{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+         << json_escape(event.category) << "\",\"ph\":\"X\",\"pid\":1,"
+         << "\"tid\":" << buffer->tid << ",\"ts\":" << ts << ",\"dur\":"
+         << dur;
+      if (event.arg != kNoArg) {
+        os << ",\"args\":{\"id\":" << event.arg << '}';
+      }
+      os << '}';
+    }
+  }
+  os << "\n]}\n";
+}
+
+void Span::finish() noexcept {
+  const auto end = std::chrono::steady_clock::now();
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.start_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       start_.time_since_epoch())
+                       .count();
+  event.duration_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count();
+  event.arg = arg_;
+  // A span that straddles a disable still records: losing the event would
+  // be more surprising than one extra entry.
+  Tracer::instance().record(event);
+}
+
+}  // namespace edgesched::obs

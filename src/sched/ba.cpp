@@ -4,6 +4,9 @@
 #include <limits>
 
 #include "net/routing.hpp"
+#include "obs/counters.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/trace.hpp"
 #include "sched/network_state.hpp"
 
 namespace edgesched::sched {
@@ -11,6 +14,8 @@ namespace edgesched::sched {
 Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
                                   const net::Topology& topology) const {
   check_inputs(graph, topology);
+  obs::Span run_span("ba/schedule", "sched", graph.num_tasks());
+  obs::DecisionLog* const log = obs::active_decision_log();
   Schedule out(name(), graph.num_tasks(), graph.num_edges());
 
   const std::vector<dag::TaskId> order =
@@ -22,6 +27,7 @@ Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
 
   // Edges this trial committed, for rollback between candidate processors.
   std::vector<dag::EdgeId> committed;
+  std::uint64_t edges_routed = 0;
 
   for (dag::TaskId task : order) {
     const double weight = graph.weight(task);
@@ -39,7 +45,9 @@ Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
     net::NodeId best_processor;
     double best_finish = std::numeric_limits<double>::infinity();
     double best_start = 0.0;
+    std::vector<obs::ProcessorCandidate> candidates;
 
+    obs::Span select_span("ba/select_processor", "sched", task.value());
     if (options_.selection == BaProcessorSelection::kReadyTimeEft) {
       // Communication-blind EFT (§4.1): ready moment + execution time,
       // inserted into the processor timeline.
@@ -49,6 +57,11 @@ Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
         const double start = machines.start_for(
             processor, ready_moment, duration, options_.task_insertion);
         const double finish = start + duration;
+        if (log != nullptr) {
+          candidates.push_back(obs::ProcessorCandidate{
+              static_cast<std::uint32_t>(processor.index()),
+              ready_moment, finish});
+        }
         if (finish < best_finish) {
           best_finish = finish;
           best_processor = processor;
@@ -83,6 +96,11 @@ Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
         const double start = machines.start_for(
             processor, data_ready, duration, options_.task_insertion);
         const double finish = start + duration;
+        if (log != nullptr) {
+          candidates.push_back(obs::ProcessorCandidate{
+              static_cast<std::uint32_t>(processor.index()), data_ready,
+              finish});
+        }
         if (finish < best_finish) {
           best_finish = finish;
           best_start = start;
@@ -92,6 +110,13 @@ Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
           network.uncommit_edge(*it);
         }
       }
+    }
+    select_span.close();
+    if (log != nullptr) {
+      log->record(obs::TaskDecision{
+          name(), static_cast<std::uint32_t>(task.index()),
+          static_cast<std::uint32_t>(best_processor.index()), best_finish,
+          std::move(candidates)});
     }
 
     // Re-commit for the winning processor and record the schedule.
@@ -103,10 +128,12 @@ Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
       const TaskPlacement& src = out.task(edge.src);
       EdgeCommunication comm;
       comm.arrival = src.finish;
+      double ship_time = src.finish;
       if (src.processor == best_processor || edge.cost <= 0.0) {
         comm.kind = EdgeCommunication::Kind::kLocal;
       } else {
-        const double ship_time =
+        obs::Span route_span("ba/route_edge", "sched", e.value());
+        ship_time =
             options_.eager_communication ? src.finish : ready_moment;
         const net::Route& route =
             routes.route(src.processor, best_processor);
@@ -115,6 +142,23 @@ Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
         comm.kind = EdgeCommunication::Kind::kExclusive;
         comm.route = route;
         comm.occupations = network.record(e).occupations;
+        ++edges_routed;
+      }
+      if (log != nullptr) {
+        obs::EdgeDecision decision;
+        decision.algorithm = name();
+        decision.edge = static_cast<std::uint32_t>(e.index());
+        decision.src_task = static_cast<std::uint32_t>(edge.src.index());
+        decision.dst_task = static_cast<std::uint32_t>(edge.dst.index());
+        decision.local = comm.kind == EdgeCommunication::Kind::kLocal;
+        decision.ship_time = ship_time;
+        decision.arrival = comm.arrival;
+        for (const LinkOccupation& occ : comm.occupations) {
+          decision.hops.push_back(obs::EdgeHop{
+              static_cast<std::uint32_t>(occ.link.index()), occ.start,
+              occ.finish});
+        }
+        log->record(std::move(decision));
       }
       data_ready = std::max(data_ready, comm.arrival);
       out.set_communication(e, std::move(comm));
@@ -128,6 +172,12 @@ Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
     machines.commit(best_processor, task, start, duration);
     out.place_task(task,
                    TaskPlacement{best_processor, start, start + duration});
+  }
+
+  obs::HotCounters& counters = obs::hot_counters();
+  counters.tasks_placed.increment(order.size());
+  if (edges_routed > 0) {
+    counters.edges_routed.increment(edges_routed);
   }
   return out;
 }

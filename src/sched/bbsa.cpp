@@ -4,6 +4,9 @@
 #include <limits>
 
 #include "net/routing.hpp"
+#include "obs/counters.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/trace.hpp"
 #include "sched/network_state.hpp"
 
 namespace edgesched::sched {
@@ -11,6 +14,8 @@ namespace edgesched::sched {
 Schedule Bbsa::schedule(const dag::TaskGraph& graph,
                         const net::Topology& topology) const {
   check_inputs(graph, topology);
+  obs::Span run_span("bbsa/schedule", "sched", graph.num_tasks());
+  obs::DecisionLog* const log = obs::active_decision_log();
   Schedule out(name(), graph.num_tasks(), graph.num_edges());
 
   const std::vector<dag::TaskId> order =
@@ -19,6 +24,7 @@ Schedule Bbsa::schedule(const dag::TaskGraph& graph,
   MachineState machines(topology);
   net::RouteCache bfs_routes(topology);
   const double mls = topology.mean_link_speed();
+  std::uint64_t edges_routed = 0;
 
   for (dag::TaskId task : order) {
     const double weight = graph.weight(task);
@@ -33,24 +39,40 @@ Schedule Bbsa::schedule(const dag::TaskGraph& graph,
     // Processor choice — identical to OIHSA (§4.1).
     net::NodeId chosen;
     double chosen_estimate = std::numeric_limits<double>::infinity();
-    for (net::NodeId processor : topology.processors()) {
-      double ready_estimate = 0.0;
-      for (dag::EdgeId e : graph.in_edges(task)) {
-        const dag::Edge& edge = graph.edge(e);
-        const TaskPlacement& src = out.task(edge.src);
-        double via = src.finish;
-        if (src.processor != processor && mls > 0.0) {
-          via += edge.cost / mls;
+    std::vector<obs::ProcessorCandidate> candidates;
+    {
+      obs::Span select_span("bbsa/select_processor", "sched",
+                            task.value());
+      for (net::NodeId processor : topology.processors()) {
+        double ready_estimate = 0.0;
+        for (dag::EdgeId e : graph.in_edges(task)) {
+          const dag::Edge& edge = graph.edge(e);
+          const TaskPlacement& src = out.task(edge.src);
+          double via = src.finish;
+          if (src.processor != processor && mls > 0.0) {
+            via += edge.cost / mls;
+          }
+          ready_estimate = std::max(ready_estimate, via);
         }
-        ready_estimate = std::max(ready_estimate, via);
+        const double estimate =
+            std::max(ready_estimate, machines.finish_time(processor)) +
+            weight / topology.processor_speed(processor);
+        if (log != nullptr) {
+          candidates.push_back(obs::ProcessorCandidate{
+              static_cast<std::uint32_t>(processor.index()),
+              ready_estimate, estimate});
+        }
+        if (estimate < chosen_estimate) {
+          chosen_estimate = estimate;
+          chosen = processor;
+        }
       }
-      const double estimate =
-          std::max(ready_estimate, machines.finish_time(processor)) +
-          weight / topology.processor_speed(processor);
-      if (estimate < chosen_estimate) {
-        chosen_estimate = estimate;
-        chosen = processor;
-      }
+    }
+    if (log != nullptr) {
+      log->record(obs::TaskDecision{
+          name(), static_cast<std::uint32_t>(task.index()),
+          static_cast<std::uint32_t>(chosen.index()), chosen_estimate,
+          std::move(candidates)});
     }
 
     // Edge priority (§4.2).
@@ -68,10 +90,12 @@ Schedule Bbsa::schedule(const dag::TaskGraph& graph,
       const TaskPlacement& src = out.task(edge.src);
       EdgeCommunication comm;
       comm.arrival = src.finish;
+      double ship_time = src.finish;
       if (src.processor == chosen || edge.cost <= 0.0) {
         comm.kind = EdgeCommunication::Kind::kLocal;
       } else {
-        const double ship_time =
+        obs::Span route_span("bbsa/route_edge", "sched", e.value());
+        ship_time =
             options_.eager_communication ? src.finish : ready_moment;
         net::Route route;
         if (options_.modified_routing) {
@@ -95,6 +119,24 @@ Schedule Bbsa::schedule(const dag::TaskGraph& graph,
         comm.route = std::move(route);
         comm.profiles = std::move(transfer.profiles);
         comm.arrival = transfer.arrival;
+        ++edges_routed;
+      }
+      if (log != nullptr) {
+        obs::EdgeDecision decision;
+        decision.algorithm = name();
+        decision.edge = static_cast<std::uint32_t>(e.index());
+        decision.src_task = static_cast<std::uint32_t>(edge.src.index());
+        decision.dst_task = static_cast<std::uint32_t>(edge.dst.index());
+        decision.local = comm.kind == EdgeCommunication::Kind::kLocal;
+        decision.ship_time = ship_time;
+        decision.arrival = comm.arrival;
+        for (std::size_t i = 0; i < comm.profiles.size(); ++i) {
+          decision.hops.push_back(obs::EdgeHop{
+              static_cast<std::uint32_t>(comm.route[i].index()),
+              comm.profiles[i].start_time(),
+              comm.profiles[i].finish_time()});
+        }
+        log->record(std::move(decision));
       }
       data_ready = std::max(data_ready, comm.arrival);
       out.set_communication(e, std::move(comm));
@@ -106,6 +148,12 @@ Schedule Bbsa::schedule(const dag::TaskGraph& graph,
                            options_.task_insertion);
     machines.commit(chosen, task, start, duration);
     out.place_task(task, TaskPlacement{chosen, start, start + duration});
+  }
+
+  obs::HotCounters& counters = obs::hot_counters();
+  counters.tasks_placed.increment(order.size());
+  if (edges_routed > 0) {
+    counters.edges_routed.increment(edges_routed);
   }
   return out;
 }

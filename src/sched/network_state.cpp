@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/counters.hpp"
+#include "obs/decision_log.hpp"
+
 namespace edgesched::sched {
 
 namespace {
@@ -21,6 +24,25 @@ ExclusiveNetworkState::ExclusiveNetworkState(const net::Topology& topology,
       hop_delay_(hop_delay) {
   throw_if(hop_delay < 0.0,
            "ExclusiveNetworkState: hop delay must be >= 0");
+}
+
+ExclusiveNetworkState::~ExclusiveNetworkState() {
+  std::uint64_t basic = 0;
+  std::uint64_t optimal = 0;
+  for (const timeline::LinkTimeline& tl : domains_) {
+    basic += tl.probe_stats().basic_probes;
+    optimal += tl.probe_stats().optimal_probes;
+  }
+  obs::HotCounters& counters = obs::hot_counters();
+  if (basic > 0) counters.link_probes.increment(basic);
+  if (optimal > 0) counters.optimal_probes.increment(optimal);
+  if (deferral_scans_ > 0) {
+    counters.deferral_scans.increment(deferral_scans_);
+  }
+  if (slot_shifts_ > 0) counters.slot_shifts.increment(slot_shifts_);
+  if (deferred_insertions_ > 0) {
+    counters.deferred_insertions.increment(deferred_insertions_);
+  }
 }
 
 timeline::Placement ExclusiveNetworkState::probe_link(net::LinkId link,
@@ -87,8 +109,10 @@ double ExclusiveNetworkState::commit_edge_optimal(dag::EdgeId edge,
 
     // Displaced occupants: update their records while the pre-shift slot
     // times are still visible for matching.
+    double slack_consumed = 0.0;
     for (const timeline::SlotShift& shift : optimal.shifts) {
       const timeline::TimeSlot& old_slot = tl.slots()[shift.position];
+      slack_consumed += shift.new_finish - old_slot.finish;
       EdgeRecord& displaced = records_[shift.edge.index()];
       bool matched = false;
       for (std::size_t i = 0; i < displaced.occupations.size(); ++i) {
@@ -108,6 +132,19 @@ double ExclusiveNetworkState::commit_edge_optimal(dag::EdgeId edge,
                            "displaced slot has no matching edge record");
     }
     timeline::commit_optimal(tl, optimal, edge);
+    slot_shifts_ += optimal.shifts.size();
+    if (!optimal.shifts.empty()) {
+      ++deferred_insertions_;
+    }
+    if (obs::DecisionLog* log = obs::active_decision_log()) {
+      log->record(obs::InsertionDecision{
+          static_cast<std::uint32_t>(edge.index()),
+          static_cast<std::uint32_t>(link.index()),
+          /*deferral=*/!optimal.shifts.empty(),
+          static_cast<std::uint32_t>(optimal.shifts.size()),
+          slack_consumed, optimal.placement.start,
+          optimal.placement.finish});
+    }
 
     record.occupations.push_back(LinkOccupation{
         link, optimal.placement.earliest_start, optimal.placement.start,
@@ -170,6 +207,7 @@ void ExclusiveNetworkState::uncommit_edge(dag::EdgeId edge) {
 
 double ExclusiveNetworkState::deferral_for(
     net::DomainId domain, const timeline::TimeSlot& slot) const {
+  ++deferral_scans_;
   const EdgeRecord& record = records_[slot.edge.index()];
   EDGESCHED_ASSERT_MSG(record.scheduled(),
                        "occupied slot references an unscheduled edge");
@@ -217,6 +255,16 @@ BandwidthNetworkState::BandwidthNetworkState(const net::Topology& topology,
   }
   for (double c : capacity) {
     domains_.emplace_back(c > 0.0 ? c : 1.0);
+  }
+}
+
+BandwidthNetworkState::~BandwidthNetworkState() {
+  std::uint64_t probes = 0;
+  for (const timeline::BandwidthTimeline& tl : domains_) {
+    probes += tl.probe_count();
+  }
+  if (probes > 0) {
+    obs::hot_counters().bandwidth_probes.increment(probes);
   }
 }
 

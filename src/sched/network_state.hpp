@@ -10,6 +10,7 @@
 // keeps the best.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "dag/task_graph.hpp"
@@ -36,6 +37,14 @@ class ExclusiveNetworkState {
   /// additional hop of a route sees the data `hop_delay` later.
   ExclusiveNetworkState(const net::Topology& topology,
                         std::size_t num_edges, double hop_delay = 0.0);
+
+  /// Flushes accumulated probe/deferral/shift tallies into the global
+  /// hot-path counters — one atomic add per counter per state lifetime,
+  /// so the per-probe cost stays a plain integer increment.
+  ~ExclusiveNetworkState();
+
+  ExclusiveNetworkState(const ExclusiveNetworkState&) = delete;
+  ExclusiveNetworkState& operator=(const ExclusiveNetworkState&) = delete;
 
   [[nodiscard]] const net::Topology& topology() const noexcept {
     return *topology_;
@@ -101,12 +110,23 @@ class ExclusiveNetworkState {
   std::vector<timeline::LinkTimeline> domains_;  ///< by DomainId
   std::vector<EdgeRecord> records_;              ///< by EdgeId
   double hop_delay_ = 0.0;
+  // Hot-path tallies, batched into obs counters by the destructor.
+  mutable std::uint64_t deferral_scans_ = 0;
+  std::uint64_t slot_shifts_ = 0;
+  std::uint64_t deferred_insertions_ = 0;
 };
 
 class BandwidthNetworkState {
  public:
   explicit BandwidthNetworkState(const net::Topology& topology,
                                  double hop_delay = 0.0);
+
+  /// Flushes the accumulated bandwidth-probe tally into the global
+  /// counter (same batching discipline as ExclusiveNetworkState).
+  ~BandwidthNetworkState();
+
+  BandwidthNetworkState(const BandwidthNetworkState&) = delete;
+  BandwidthNetworkState& operator=(const BandwidthNetworkState&) = delete;
 
   [[nodiscard]] const net::Topology& topology() const noexcept {
     return *topology_;

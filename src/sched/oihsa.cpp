@@ -4,6 +4,9 @@
 #include <limits>
 
 #include "net/routing.hpp"
+#include "obs/counters.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/trace.hpp"
 #include "sched/network_state.hpp"
 
 namespace edgesched::sched {
@@ -11,6 +14,8 @@ namespace edgesched::sched {
 Schedule Oihsa::schedule(const dag::TaskGraph& graph,
                          const net::Topology& topology) const {
   check_inputs(graph, topology);
+  obs::Span run_span("oihsa/schedule", "sched", graph.num_tasks());
+  obs::DecisionLog* const log = obs::active_decision_log();
   Schedule out(name(), graph.num_tasks(), graph.num_edges());
 
   const std::vector<dag::TaskId> order =
@@ -20,6 +25,7 @@ Schedule Oihsa::schedule(const dag::TaskGraph& graph,
   MachineState machines(topology);
   net::RouteCache bfs_routes(topology);
   const double mls = topology.mean_link_speed();
+  std::uint64_t edges_routed = 0;
 
   for (dag::TaskId task : order) {
     const double weight = graph.weight(task);
@@ -36,31 +42,47 @@ Schedule Oihsa::schedule(const dag::TaskGraph& graph,
     // where same-processor communication is free.
     net::NodeId chosen;
     double chosen_estimate = std::numeric_limits<double>::infinity();
-    for (net::NodeId processor : topology.processors()) {
-      double ready_estimate = 0.0;
-      for (dag::EdgeId e : graph.in_edges(task)) {
-        const dag::Edge& edge = graph.edge(e);
-        const TaskPlacement& src = out.task(edge.src);
-        double via = src.finish;
-        if (src.processor != processor && mls > 0.0) {
-          via += edge.cost / mls;
+    std::vector<obs::ProcessorCandidate> candidates;
+    {
+      obs::Span select_span("oihsa/select_processor", "sched",
+                            task.value());
+      for (net::NodeId processor : topology.processors()) {
+        double ready_estimate = 0.0;
+        for (dag::EdgeId e : graph.in_edges(task)) {
+          const dag::Edge& edge = graph.edge(e);
+          const TaskPlacement& src = out.task(edge.src);
+          double via = src.finish;
+          if (src.processor != processor && mls > 0.0) {
+            via += edge.cost / mls;
+          }
+          ready_estimate = std::max(ready_estimate, via);
         }
-        ready_estimate = std::max(ready_estimate, via);
+        const double duration_on_p =
+            weight / topology.processor_speed(processor);
+        const double availability =
+            options_.insertion_aware_estimate
+                ? machines.start_for(processor, ready_estimate,
+                                     duration_on_p,
+                                     options_.task_insertion)
+                : std::max(ready_estimate,
+                           machines.finish_time(processor));
+        const double estimate = availability + duration_on_p;
+        if (log != nullptr) {
+          candidates.push_back(obs::ProcessorCandidate{
+              static_cast<std::uint32_t>(processor.index()),
+              ready_estimate, estimate});
+        }
+        if (estimate < chosen_estimate) {
+          chosen_estimate = estimate;
+          chosen = processor;
+        }
       }
-      const double duration_on_p =
-          weight / topology.processor_speed(processor);
-      const double availability =
-          options_.insertion_aware_estimate
-              ? machines.start_for(processor, ready_estimate,
-                                   duration_on_p,
-                                   options_.task_insertion)
-              : std::max(ready_estimate,
-                         machines.finish_time(processor));
-      const double estimate = availability + duration_on_p;
-      if (estimate < chosen_estimate) {
-        chosen_estimate = estimate;
-        chosen = processor;
-      }
+    }
+    if (log != nullptr) {
+      log->record(obs::TaskDecision{
+          name(), static_cast<std::uint32_t>(task.index()),
+          static_cast<std::uint32_t>(chosen.index()), chosen_estimate,
+          std::move(candidates)});
     }
 
     // Edge priority (§4.2): the costliest incoming edge books first.
@@ -78,10 +100,12 @@ Schedule Oihsa::schedule(const dag::TaskGraph& graph,
       const TaskPlacement& src = out.task(edge.src);
       EdgeCommunication comm;
       comm.arrival = src.finish;
+      double ship_time = src.finish;
       if (src.processor == chosen || edge.cost <= 0.0) {
         comm.kind = EdgeCommunication::Kind::kLocal;
       } else {
-        const double ship_time =
+        obs::Span route_span("oihsa/route_edge", "sched", e.value());
+        ship_time =
             options_.eager_communication ? src.finish : ready_moment;
         // Modified routing (§4.3): relax on the tentative per-link finish
         // time given the current timelines.
@@ -106,6 +130,27 @@ Schedule Oihsa::schedule(const dag::TaskGraph& graph,
                                             edge.cost);
         comm.kind = EdgeCommunication::Kind::kExclusive;
         comm.route = std::move(route);
+        ++edges_routed;
+      }
+      if (log != nullptr) {
+        obs::EdgeDecision decision;
+        decision.algorithm = name();
+        decision.edge = static_cast<std::uint32_t>(e.index());
+        decision.src_task = static_cast<std::uint32_t>(edge.src.index());
+        decision.dst_task = static_cast<std::uint32_t>(edge.dst.index());
+        decision.local = comm.kind == EdgeCommunication::Kind::kLocal;
+        decision.ship_time = ship_time;
+        decision.arrival = comm.arrival;
+        if (!decision.local) {
+          const EdgeRecord& record = network.record(e);
+          decision.hops.reserve(record.occupations.size());
+          for (const LinkOccupation& occ : record.occupations) {
+            decision.hops.push_back(obs::EdgeHop{
+                static_cast<std::uint32_t>(occ.link.index()), occ.start,
+                occ.finish});
+          }
+        }
+        log->record(std::move(decision));
       }
       data_ready = std::max(data_ready, comm.arrival);
       out.set_communication(e, std::move(comm));
@@ -131,6 +176,12 @@ Schedule Oihsa::schedule(const dag::TaskGraph& graph,
       comm.arrival = record.occupations.back().finish;
       out.set_communication(e, std::move(comm));
     }
+  }
+
+  obs::HotCounters& counters = obs::hot_counters();
+  counters.tasks_placed.increment(order.size());
+  if (edges_routed > 0) {
+    counters.edges_routed.increment(edges_routed);
   }
   return out;
 }

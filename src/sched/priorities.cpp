@@ -3,11 +3,13 @@
 #include <queue>
 
 #include "dag/properties.hpp"
+#include "obs/trace.hpp"
 
 namespace edgesched::sched {
 
 std::vector<double> priorities(const dag::TaskGraph& graph,
                                PriorityScheme scheme) {
+  obs::Span span("sched/priorities", "sched", graph.num_tasks());
   switch (scheme) {
     case PriorityScheme::kBottomLevel:
       return dag::bottom_levels(graph);

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sched/ba.hpp"
 #include "sched/bbsa.hpp"
 #include "sched/oihsa.hpp"
@@ -72,6 +74,8 @@ struct SweepJob {
 };
 
 InstanceResult run_job(const SweepJob& job, bool validate_schedules) {
+  obs::Span span("sim/instance", "sim", job.point_index);
+  obs::hot_counters().sweep_instances.increment();
   Rng rng(job.rng_seed);  // == root.fork() at this loop position
   const Instance instance =
       make_instance(*job.config, job.procs, job.ccr, rng);

@@ -30,6 +30,14 @@ std::uint64_t Histogram::cumulative_le(std::size_t i) const noexcept {
   return total;
 }
 
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
@@ -51,10 +59,16 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 std::string MetricsRegistry::text_dump() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
-  for (const auto& [name, counter] : counters_) {
-    os << "counter " << name << ' ' << counter->value() << '\n';
-  }
-  for (const auto& [name, histogram] : histograms_) {
+  // One merged pass over both (already name-sorted) maps, so the dump is
+  // a single sorted-by-name sequence whatever order metrics were created
+  // in or which kind they are.
+  auto counter_it = counters_.begin();
+  auto histogram_it = histograms_.begin();
+  const auto emit_counter = [&os](const auto& entry) {
+    os << "counter " << entry.first << ' ' << entry.second->value() << '\n';
+  };
+  const auto emit_histogram = [&os](const auto& entry) {
+    const auto& [name, histogram] = entry;
     os << "histogram " << name << " count " << histogram->count() << " sum "
        << histogram->sum() << '\n';
     for (std::size_t i = 0; i < Histogram::kUpperBounds.size(); ++i) {
@@ -62,8 +76,50 @@ std::string MetricsRegistry::text_dump() const {
          << ' ' << histogram->cumulative_le(i) << '\n';
     }
     os << "histogram " << name << " le +inf " << histogram->count() << '\n';
+  };
+  while (counter_it != counters_.end() ||
+         histogram_it != histograms_.end()) {
+    const bool take_counter =
+        histogram_it == histograms_.end() ||
+        (counter_it != counters_.end() &&
+         counter_it->first <= histogram_it->first);
+    if (take_counter) {
+      emit_counter(*counter_it++);
+    } else {
+      emit_histogram(*histogram_it++);
+    }
   }
   return os.str();
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counter_values()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> values;
+  for (const auto& [name, counter] : counters_) {
+    values[name] = counter->value();
+  }
+  return values;
+}
+
+std::map<std::string, MetricsRegistry::HistogramSummary>
+MetricsRegistry::histogram_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, HistogramSummary> values;
+  for (const auto& [name, histogram] : histograms_) {
+    values[name] = HistogramSummary{histogram->count(), histogram->sum()};
+  }
+  return values;
+}
+
+void MetricsRegistry::reset_for_test() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    counter->reset();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    histogram->reset();
+  }
 }
 
 }  // namespace edgesched::svc

@@ -35,6 +35,9 @@ class Counter {
   [[nodiscard]] std::uint64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  /// Zeroes the counter in place (the object survives, so references
+  /// held by hot paths stay valid). Test/tooling use only.
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -65,6 +68,9 @@ class Histogram {
   /// Observations <= kUpperBounds[i] (cumulative, Prometheus `le`).
   [[nodiscard]] std::uint64_t cumulative_le(std::size_t i) const noexcept;
 
+  /// Zeroes all buckets, count and sum in place. Test/tooling use only.
+  void reset() noexcept;
+
  private:
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
@@ -81,9 +87,28 @@ class MetricsRegistry {
   /// Returns the histogram named `name`, creating it on first use.
   [[nodiscard]] Histogram& histogram(const std::string& name);
 
-  /// Renders every metric in the line format documented above, sorted by
-  /// name (deterministic output for tests and scraping).
+  /// Renders every metric in the line format documented above, in one
+  /// deterministic sorted-by-name sequence across both metric kinds —
+  /// output never depends on registration order.
   [[nodiscard]] std::string text_dump() const;
+
+  /// Current counter values, sorted by name.
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const;
+
+  /// count/sum summary of one histogram.
+  struct HistogramSummary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  /// Current histogram summaries, sorted by name.
+  [[nodiscard]] std::map<std::string, HistogramSummary> histogram_values()
+      const;
+
+  /// Zeroes every metric in place without destroying it: references
+  /// previously returned by `counter()` / `histogram()` stay valid, so
+  /// tests that share a process-global registry can start from a clean
+  /// slate regardless of what ran before them.
+  void reset_for_test();
 
  private:
   mutable std::mutex mutex_;

@@ -1,5 +1,8 @@
 #include "svc/thread_pool.hpp"
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace edgesched::svc {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -39,7 +42,11 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();  // exceptions are captured by the packaged_task wrapper
+    {
+      obs::Span span("svc/job", "svc");
+      job();  // exceptions are captured by the packaged_task wrapper
+    }
+    obs::hot_counters().pool_jobs.increment();
   }
 }
 

@@ -214,6 +214,7 @@ double BandwidthTimeline::first_available(double t) const {
 
 double BandwidthTimeline::earliest_finish(double t, double volume) const {
   EDGESCHED_ASSERT_MSG(volume > 0.0, "volume must be positive");
+  ++probe_count_;
   double at = std::max(t, 0.0);
   double sent = 0.0;
   std::size_t i = segment_index(at);

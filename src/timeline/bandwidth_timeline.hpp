@@ -11,6 +11,7 @@
 // cumulative inflow from the previous link.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "timeline/rate_profile.hpp"
@@ -51,6 +52,13 @@ class BandwidthTimeline {
   /// all remaining bandwidth — the routing probe for BBSA.
   [[nodiscard]] double earliest_finish(double t, double volume) const;
 
+  /// Routing probes answered (`earliest_finish` calls). Plain tally — a
+  /// timeline is owned by one single-threaded scheduling state, which
+  /// batches the sum into the global counter on destruction.
+  [[nodiscard]] std::uint64_t probe_count() const noexcept {
+    return probe_count_;
+  }
+
   /// Piecewise representation, for tests: (start, remaining) pairs; each
   /// entry holds until the next entry's start, the last one forever.
   [[nodiscard]] const std::vector<std::pair<double, double>>& breakpoints()
@@ -71,6 +79,7 @@ class BandwidthTimeline {
   /// Sorted (start, remaining) pairs covering [0, inf); starts strictly
   /// increase and the first entry is at t = 0.
   std::vector<std::pair<double, double>> breakpoints_;
+  mutable std::uint64_t probe_count_ = 0;
 };
 
 }  // namespace edgesched::timeline

@@ -10,6 +10,7 @@ namespace edgesched::timeline {
 Placement LinkTimeline::probe_basic(double t_es_in, double t_f_min,
                                     double duration) const {
   EDGESCHED_ASSERT_MSG(duration > 0.0, "edge duration must be positive");
+  ++probe_stats_.basic_probes;
   // Walk the idle intervals in time order: before the first slot, between
   // consecutive slots, after the last slot (unbounded). The slot start is
   // computed first so that earliest_start <= start holds exactly, with no

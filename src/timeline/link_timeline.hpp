@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "timeline/time_slot.hpp"
@@ -18,6 +19,14 @@ namespace edgesched::timeline {
 
 class LinkTimeline {
  public:
+  /// Probe-work tallies. Plain (non-atomic) members: a timeline belongs
+  /// to exactly one scheduling state, which is used by one thread; the
+  /// owning network state batches these into the global counters.
+  struct ProbeStats {
+    std::uint64_t basic_probes = 0;
+    std::uint64_t optimal_probes = 0;
+  };
+
   /// First-fit search: the earliest placement with
   ///   t_f = max(gap_start + dur, t_es_in + dur, t_f_min) inside an idle
   /// interval. `t_es_in` is the earliest start arriving from the previous
@@ -58,8 +67,18 @@ class LinkTimeline {
   /// earliest_start <= start. Throws InternalError on violation.
   void check_invariants() const;
 
+  [[nodiscard]] const ProbeStats& probe_stats() const noexcept {
+    return probe_stats_;
+  }
+  /// Counted by probe_optimal (a free function that only sees a const
+  /// timeline); logically mutable statistics, not timeline state.
+  void count_optimal_probe() const noexcept {
+    ++probe_stats_.optimal_probes;
+  }
+
  private:
   std::vector<TimeSlot> slots_;  ///< sorted by start, pairwise disjoint
+  mutable ProbeStats probe_stats_;
 };
 
 }  // namespace edgesched::timeline

@@ -11,6 +11,7 @@ OptimalPlacement probe_optimal(const LinkTimeline& timeline, double t_es_in,
                                double t_f_min, double duration,
                                const DeferralFn& deferral) {
   EDGESCHED_ASSERT_MSG(duration > 0.0, "edge duration must be positive");
+  timeline.count_optimal_probe();
   const std::vector<TimeSlot>& slots = timeline.slots();
   const std::size_t count = slots.size();
 

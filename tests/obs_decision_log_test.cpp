@@ -1,0 +1,204 @@
+#include "obs/decision_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace edgesched::obs {
+namespace {
+
+TaskDecision sample_task() {
+  TaskDecision decision;
+  decision.algorithm = "OIHSA";
+  decision.task = 3;
+  decision.chosen_processor = 1;
+  decision.chosen_estimate = 9.0;
+  decision.candidates.push_back(ProcessorCandidate{0, 8.0, 9.5});
+  decision.candidates.push_back(ProcessorCandidate{1, 8.0, 9.0});
+  return decision;
+}
+
+EdgeDecision sample_edge() {
+  EdgeDecision decision;
+  decision.algorithm = "OIHSA";
+  decision.edge = 4;
+  decision.src_task = 1;
+  decision.dst_task = 3;
+  decision.local = false;
+  decision.ship_time = 5.0;
+  decision.arrival = 9.0;
+  decision.hops.push_back(EdgeHop{0, 5.0, 9.0});
+  return decision;
+}
+
+InsertionDecision sample_insertion() {
+  InsertionDecision decision;
+  decision.edge = 4;
+  decision.link = 0;
+  decision.deferral = true;
+  decision.shifts = 2;
+  decision.slack_consumed = 1.5;
+  decision.start = 3.0;
+  decision.finish = 5.0;
+  return decision;
+}
+
+std::vector<JsonValue> parse_lines(const std::string& jsonl) {
+  std::vector<JsonValue> docs;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      docs.push_back(JsonValue::parse(line));
+    }
+  }
+  return docs;
+}
+
+TEST(DecisionLog, StoresAndSnapshotsAllThreeKinds) {
+  DecisionLog log;
+  log.record(sample_task());
+  log.record(sample_edge());
+  log.record(sample_insertion());
+
+  EXPECT_EQ(log.size(), 3u);
+  ASSERT_EQ(log.task_decisions().size(), 1u);
+  ASSERT_EQ(log.edge_decisions().size(), 1u);
+  ASSERT_EQ(log.insertion_decisions().size(), 1u);
+
+  const TaskDecision task = log.task_decisions().front();
+  EXPECT_EQ(task.algorithm, "OIHSA");
+  EXPECT_EQ(task.chosen_processor, 1u);
+  ASSERT_EQ(task.candidates.size(), 2u);
+  EXPECT_DOUBLE_EQ(task.candidates[0].estimate, 9.5);
+
+  const EdgeDecision edge = log.edge_decisions().front();
+  EXPECT_FALSE(edge.local);
+  ASSERT_EQ(edge.hops.size(), 1u);
+  EXPECT_DOUBLE_EQ(edge.hops[0].finish, 9.0);
+
+  const InsertionDecision insertion = log.insertion_decisions().front();
+  EXPECT_TRUE(insertion.deferral);
+  EXPECT_DOUBLE_EQ(insertion.slack_consumed, 1.5);
+}
+
+TEST(DecisionLog, JsonlSchemaCarriesEveryField) {
+  DecisionLog log;
+  log.record(sample_task());
+  log.record(sample_edge());
+  log.record(sample_insertion());
+
+  std::ostringstream out;
+  log.write_jsonl(out);
+  const std::vector<JsonValue> docs = parse_lines(out.str());
+  ASSERT_EQ(docs.size(), 3u);
+
+  const JsonValue& task = docs[0];
+  EXPECT_EQ(task.at("type").as_string(), "task");
+  EXPECT_EQ(task.at("algorithm").as_string(), "OIHSA");
+  EXPECT_EQ(task.at("task").as_number(), 3.0);
+  EXPECT_EQ(task.at("chosen_processor").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(task.at("chosen_estimate").as_number(), 9.0);
+  ASSERT_EQ(task.at("candidates").size(), 2u);
+  const JsonValue& candidate = task.at("candidates").at(1);
+  EXPECT_EQ(candidate.at("processor").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(candidate.at("ready_estimate").as_number(), 8.0);
+  EXPECT_DOUBLE_EQ(candidate.at("estimate").as_number(), 9.0);
+
+  const JsonValue& edge = docs[1];
+  EXPECT_EQ(edge.at("type").as_string(), "edge");
+  EXPECT_EQ(edge.at("edge").as_number(), 4.0);
+  EXPECT_EQ(edge.at("src_task").as_number(), 1.0);
+  EXPECT_EQ(edge.at("dst_task").as_number(), 3.0);
+  EXPECT_FALSE(edge.at("local").as_bool());
+  EXPECT_DOUBLE_EQ(edge.at("ship_time").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(edge.at("arrival").as_number(), 9.0);
+  ASSERT_EQ(edge.at("hops").size(), 1u);
+  EXPECT_EQ(edge.at("hops").at(0).at("link").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(edge.at("hops").at(0).at("start").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(edge.at("hops").at(0).at("finish").as_number(), 9.0);
+
+  const JsonValue& insertion = docs[2];
+  EXPECT_EQ(insertion.at("type").as_string(), "insertion");
+  EXPECT_EQ(insertion.at("outcome").as_string(), "deferral");
+  EXPECT_EQ(insertion.at("shifts").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(insertion.at("slack_consumed").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(insertion.at("start").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(insertion.at("finish").as_number(), 5.0);
+}
+
+TEST(DecisionLog, FirstFitInsertionSaysFirstFit) {
+  DecisionLog log;
+  InsertionDecision decision = sample_insertion();
+  decision.deferral = false;
+  decision.shifts = 0;
+  decision.slack_consumed = 0.0;
+  log.record(decision);
+
+  std::ostringstream out;
+  log.write_jsonl(out);
+  const std::vector<JsonValue> docs = parse_lines(out.str());
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].at("outcome").as_string(), "first_fit");
+  EXPECT_EQ(docs[0].at("shifts").as_number(), 0.0);
+}
+
+TEST(DecisionLog, PreservesRecordingOrderAcrossKinds) {
+  DecisionLog log;
+  log.record(sample_insertion());  // insertion lands before its edge,
+  log.record(sample_edge());       // exactly as the schedulers emit them
+  log.record(sample_task());
+
+  std::ostringstream out;
+  log.write_jsonl(out);
+  const std::vector<JsonValue> docs = parse_lines(out.str());
+  ASSERT_EQ(docs.size(), 3u);
+  EXPECT_EQ(docs[0].at("type").as_string(), "insertion");
+  EXPECT_EQ(docs[1].at("type").as_string(), "edge");
+  EXPECT_EQ(docs[2].at("type").as_string(), "task");
+}
+
+TEST(DecisionLog, StreamingSinkWritesInsteadOfStoring) {
+  std::ostringstream sink;
+  DecisionLog log(sink);
+  log.record(sample_task());
+  log.record(sample_edge());
+
+  // Streamed immediately, nothing retained.
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.task_decisions().empty());
+  EXPECT_TRUE(log.edge_decisions().empty());
+  const std::vector<JsonValue> docs = parse_lines(sink.str());
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].at("type").as_string(), "task");
+  EXPECT_EQ(docs[1].at("type").as_string(), "edge");
+
+  // write_jsonl has nothing to replay in streaming mode.
+  std::ostringstream replay;
+  log.write_jsonl(replay);
+  EXPECT_TRUE(replay.str().empty());
+}
+
+TEST(DecisionLog, ScopedInstallNestsAndRestores) {
+  ASSERT_EQ(active_decision_log(), nullptr);
+  DecisionLog outer;
+  {
+    ScopedDecisionLog scoped_outer(outer);
+    EXPECT_EQ(active_decision_log(), &outer);
+    EXPECT_EQ(DecisionLog::active(), &outer);
+    {
+      DecisionLog inner;
+      ScopedDecisionLog scoped_inner(inner);
+      EXPECT_EQ(active_decision_log(), &inner);
+    }
+    EXPECT_EQ(active_decision_log(), &outer);
+  }
+  EXPECT_EQ(active_decision_log(), nullptr);
+}
+
+}  // namespace
+}  // namespace edgesched::obs

@@ -1,0 +1,180 @@
+// End-to-end observability: run OIHSA on a hand-computed instance and
+// assert the decision log explains the schedule — which processor won
+// each §4.1 estimate, the §4.2 edge order, and the §4.3/§4.4 route each
+// remote edge was booked on.
+#include <gtest/gtest.h>
+
+#include "dag/task_graph.hpp"
+#include "net/topology.hpp"
+#include "obs/counters.hpp"
+#include "obs/decision_log.hpp"
+#include "sched/ba.hpp"
+#include "sched/oihsa.hpp"
+#include "sched/validator.hpp"
+
+namespace edgesched {
+namespace {
+
+// Diamond-free join: a(2), b(3), c(4) all feed d(1); edge costs a->d 6,
+// b->d 2, c->d 4. Two unit-speed processors joined by one duplex link of
+// rate 1. Hand-worked OIHSA run:
+//   bottom levels: a 9, b 6, c 9, d 1  =>  list order a, c, b, d
+//   a -> p0 (both estimates 2; first wins), finishes at 2
+//   c -> p1 (est 6 on p0 behind a, 4 on free p1), finishes at 4
+//   b -> p0 (est 5 behind a; 7 on p1 behind c), finishes at 5
+//   d -> p0 (ready moment 5; arrival estimate 9 on both; p0 kept)
+//   edges of d in decreasing cost: a->d local, c->d routed p1->p0 over
+//   the link at [5, 9], b->d local  =>  d runs [9, 10], makespan 10.
+struct JoinFixture {
+  dag::TaskGraph graph;
+  net::Topology topo;
+  dag::TaskId a, b, c, d;
+  dag::EdgeId ad, bd, cd;
+
+  JoinFixture() {
+    a = graph.add_task(2.0, "a");
+    b = graph.add_task(3.0, "b");
+    c = graph.add_task(4.0, "c");
+    d = graph.add_task(1.0, "d");
+    ad = graph.add_edge(a, d, 6.0);
+    bd = graph.add_edge(b, d, 2.0);
+    cd = graph.add_edge(c, d, 4.0);
+    const net::NodeId p0 = topo.add_processor(1.0, "p0");
+    const net::NodeId p1 = topo.add_processor(1.0, "p1");
+    topo.add_duplex_link(p0, p1, 1.0);
+  }
+};
+
+TEST(ObsIntegration, OihsaTaskDecisionsMatchHandComputation) {
+  const JoinFixture fx;
+  obs::DecisionLog log;
+  sched::Schedule schedule = [&] {
+    obs::ScopedDecisionLog scoped(log);
+    return sched::Oihsa{}.schedule(fx.graph, fx.topo);
+  }();
+  sched::validate_or_throw(fx.graph, fx.topo, schedule);
+  EXPECT_DOUBLE_EQ(schedule.makespan(), 10.0);
+
+  const auto tasks = log.task_decisions();
+  ASSERT_EQ(tasks.size(), 4u);
+  // §4.2 list order by bottom level: a, c, b, d.
+  EXPECT_EQ(tasks[0].task, fx.a.index());
+  EXPECT_EQ(tasks[1].task, fx.c.index());
+  EXPECT_EQ(tasks[2].task, fx.b.index());
+  EXPECT_EQ(tasks[3].task, fx.d.index());
+  for (const auto& t : tasks) {
+    EXPECT_EQ(t.algorithm, "OIHSA");
+    ASSERT_EQ(t.candidates.size(), 2u);  // both processors considered
+  }
+
+  // a: tie at estimate 2, first processor kept.
+  EXPECT_EQ(tasks[0].chosen_processor, 0u);
+  EXPECT_DOUBLE_EQ(tasks[0].chosen_estimate, 2.0);
+  EXPECT_DOUBLE_EQ(tasks[0].candidates[0].estimate, 2.0);
+  EXPECT_DOUBLE_EQ(tasks[0].candidates[1].estimate, 2.0);
+
+  // c: p0 is busy with a until 2 (estimate 6), p1 is free (estimate 4).
+  EXPECT_EQ(tasks[1].chosen_processor, 1u);
+  EXPECT_DOUBLE_EQ(tasks[1].chosen_estimate, 4.0);
+  EXPECT_DOUBLE_EQ(tasks[1].candidates[0].estimate, 6.0);
+  EXPECT_DOUBLE_EQ(tasks[1].candidates[1].estimate, 4.0);
+
+  // b: behind a on p0 (5) beats behind c on p1 (7).
+  EXPECT_EQ(tasks[2].chosen_processor, 0u);
+  EXPECT_DOUBLE_EQ(tasks[2].chosen_estimate, 5.0);
+  EXPECT_DOUBLE_EQ(tasks[2].candidates[0].estimate, 5.0);
+  EXPECT_DOUBLE_EQ(tasks[2].candidates[1].estimate, 7.0);
+
+  // d: estimated data-ready 8 and finish 9 on either processor.
+  EXPECT_EQ(tasks[3].chosen_processor, 0u);
+  EXPECT_DOUBLE_EQ(tasks[3].chosen_estimate, 9.0);
+  for (const auto& candidate : tasks[3].candidates) {
+    EXPECT_DOUBLE_EQ(candidate.ready_estimate, 8.0);
+    EXPECT_DOUBLE_EQ(candidate.estimate, 9.0);
+  }
+}
+
+TEST(ObsIntegration, OihsaEdgeDecisionsMatchHandComputation) {
+  const JoinFixture fx;
+  obs::DecisionLog log;
+  {
+    obs::ScopedDecisionLog scoped(log);
+    (void)sched::Oihsa{}.schedule(fx.graph, fx.topo);
+  }
+
+  const auto edges = log.edge_decisions();
+  ASSERT_EQ(edges.size(), 3u);
+  // §4.2: d's in-edges booked in decreasing cost order 6, 4, 2.
+  EXPECT_EQ(edges[0].edge, fx.ad.index());
+  EXPECT_EQ(edges[1].edge, fx.cd.index());
+  EXPECT_EQ(edges[2].edge, fx.bd.index());
+
+  // a->d and b->d stay on p0 with d: local, arrival = source finish /
+  // ready moment, no hops.
+  EXPECT_TRUE(edges[0].local);
+  EXPECT_DOUBLE_EQ(edges[0].arrival, 2.0);
+  EXPECT_TRUE(edges[0].hops.empty());
+  EXPECT_TRUE(edges[2].local);
+  EXPECT_DOUBLE_EQ(edges[2].arrival, 5.0);
+
+  // c->d crosses p1 -> p0: one hop occupying the link over [5, 9].
+  EXPECT_FALSE(edges[1].local);
+  EXPECT_EQ(edges[1].src_task, fx.c.index());
+  EXPECT_EQ(edges[1].dst_task, fx.d.index());
+  EXPECT_DOUBLE_EQ(edges[1].ship_time, 5.0);
+  EXPECT_DOUBLE_EQ(edges[1].arrival, 9.0);
+  ASSERT_EQ(edges[1].hops.size(), 1u);
+  EXPECT_DOUBLE_EQ(edges[1].hops[0].start, 5.0);
+  EXPECT_DOUBLE_EQ(edges[1].hops[0].finish, 9.0);
+
+  // The one remote edge was committed by optimal insertion without
+  // displacing anything: plain first-fit on an empty link.
+  const auto insertions = log.insertion_decisions();
+  ASSERT_EQ(insertions.size(), 1u);
+  EXPECT_EQ(insertions[0].edge, fx.cd.index());
+  EXPECT_FALSE(insertions[0].deferral);
+  EXPECT_EQ(insertions[0].shifts, 0u);
+  EXPECT_DOUBLE_EQ(insertions[0].slack_consumed, 0.0);
+  EXPECT_DOUBLE_EQ(insertions[0].start, 5.0);
+  EXPECT_DOUBLE_EQ(insertions[0].finish, 9.0);
+}
+
+TEST(ObsIntegration, BaTagsItsDecisionsWithItsOwnName) {
+  const JoinFixture fx;
+  obs::DecisionLog log;
+  {
+    obs::ScopedDecisionLog scoped(log);
+    (void)sched::BasicAlgorithm{}.schedule(fx.graph, fx.topo);
+  }
+  const auto tasks = log.task_decisions();
+  ASSERT_EQ(tasks.size(), 4u);
+  for (const auto& t : tasks) {
+    EXPECT_EQ(t.algorithm, "BA");
+  }
+}
+
+TEST(ObsIntegration, HotCountersTallyTheRun) {
+  const JoinFixture fx;
+  obs::HotCounters& counters = obs::hot_counters();
+  const std::uint64_t tasks_before = counters.tasks_placed.value();
+  const std::uint64_t edges_before = counters.edges_routed.value();
+  const std::uint64_t probes_before = counters.optimal_probes.value();
+
+  (void)sched::Oihsa{}.schedule(fx.graph, fx.topo);
+
+  // Counters batch inside the run and flush when the scheduling state is
+  // torn down, so by the time schedule() returns they are visible.
+  EXPECT_EQ(counters.tasks_placed.value() - tasks_before, 4u);
+  EXPECT_EQ(counters.edges_routed.value() - edges_before, 1u);
+  EXPECT_GT(counters.optimal_probes.value(), probes_before);
+}
+
+TEST(ObsIntegration, NoLogInstalledMeansNothingRecorded) {
+  const JoinFixture fx;
+  ASSERT_EQ(obs::active_decision_log(), nullptr);
+  const sched::Schedule schedule = sched::Oihsa{}.schedule(fx.graph, fx.topo);
+  EXPECT_DOUBLE_EQ(schedule.makespan(), 10.0);
+}
+
+}  // namespace
+}  // namespace edgesched
