@@ -63,6 +63,38 @@ const Route& RouteCache::route(NodeId from, NodeId to) {
   return it->second;
 }
 
+ProbedRouteCache::~ProbedRouteCache() {
+  if (hits_ > 0) {
+    obs::hot_counters().route_memo_hits.increment(hits_);
+  }
+  if (misses_ > 0) {
+    obs::hot_counters().route_memo_misses.increment(misses_);
+  }
+}
+
+const Route* ProbedRouteCache::lookup(NodeId from, NodeId to, double ready,
+                                      double cost,
+                                      std::uint64_t generation) {
+  const auto it = cache_.find(std::make_pair(from, to));
+  if (it != cache_.end() && it->second.generation == generation &&
+      it->second.ready == ready && it->second.cost == cost) {
+    ++hits_;
+    return &it->second.route;
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void ProbedRouteCache::store(NodeId from, NodeId to, double ready,
+                             double cost, std::uint64_t generation,
+                             const Route& route) {
+  Entry& entry = cache_[std::make_pair(from, to)];
+  entry.ready = ready;
+  entry.cost = cost;
+  entry.generation = generation;
+  entry.route = route;
+}
+
 Route dijkstra_route(const Topology& topology, NodeId from, NodeId to,
                      const std::function<double(LinkId)>& weight) {
   const auto link_weight = [&](LinkId l) {
@@ -78,11 +110,14 @@ Route dijkstra_route(const Topology& topology, NodeId from, NodeId to,
   return dijkstra_route_probe(topology, from, to, 0.0, probe);
 }
 
-Route dijkstra_route_avoiding(const Topology& topology, NodeId from,
-                              NodeId to,
-                              const std::vector<bool>& banned_links,
-                              const std::vector<bool>& banned_nodes,
-                              const std::function<double(LinkId)>& weight) {
+namespace {
+
+Route route_avoiding_with_workspace(
+    const Topology& topology, NodeId from, NodeId to,
+    const std::vector<bool>& banned_links,
+    const std::vector<bool>& banned_nodes,
+    const std::function<double(LinkId)>& weight,
+    RoutingWorkspace* workspace) {
   const auto link_weight = [&](LinkId l) {
     return weight ? weight(l) : 1.0 / topology.link_speed(l);
   };
@@ -98,7 +133,8 @@ Route dijkstra_route_avoiding(const Topology& topology, NodeId from,
                        state.earliest_start + w};
   };
   try {
-    Route route = dijkstra_route_probe(topology, from, to, 0.0, probe);
+    Route route =
+        dijkstra_route_probe(topology, from, to, 0.0, probe, workspace);
     // A "found" route through blocked links has infinite weight.
     for (LinkId l : route) {
       if (l.index() < banned_links.size() && banned_links[l.index()]) {
@@ -114,6 +150,17 @@ Route dijkstra_route_avoiding(const Topology& topology, NodeId from,
   } catch (const std::invalid_argument&) {
     return {};
   }
+}
+
+}  // namespace
+
+Route dijkstra_route_avoiding(const Topology& topology, NodeId from,
+                              NodeId to,
+                              const std::vector<bool>& banned_links,
+                              const std::vector<bool>& banned_nodes,
+                              const std::function<double(LinkId)>& weight) {
+  return route_avoiding_with_workspace(topology, from, to, banned_links,
+                                       banned_nodes, weight, nullptr);
 }
 
 std::vector<Route> k_shortest_routes(
@@ -138,6 +185,8 @@ std::vector<Route> k_shortest_routes(
     return a < b;  // deterministic tie-break
   };
 
+  // One workspace amortised over every spur-path search Yen performs.
+  RoutingWorkspace workspace;
   std::vector<Route> found;
   found.push_back(dijkstra_route(topology, from, to, weight));
   std::vector<Route> candidates;
@@ -166,8 +215,9 @@ std::vector<Route> k_shortest_routes(
         banned_nodes[walker.index()] = true;
         walker = topology.link(base[i]).dst;
       }
-      const Route spur_path = dijkstra_route_avoiding(
-          topology, spur_node, to, banned_links, banned_nodes, weight);
+      const Route spur_path = route_avoiding_with_workspace(
+          topology, spur_node, to, banned_links, banned_nodes, weight,
+          &workspace);
       if (spur_path.empty() && spur_node != to) {
         continue;
       }

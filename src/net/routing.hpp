@@ -10,6 +10,10 @@
 //   edge being routed on each link, supplied by a caller probe that
 //   consults the current link timelines (basic insertion, §3). Routes
 //   therefore steer around loaded links.
+// * `RoutingWorkspace` — reusable, epoch-stamped Dijkstra scratch so a
+//   scheduler routing thousands of edges allocates its search state once.
+// * `ProbedRouteCache` — memoisation of probe-driven routes keyed on the
+//   network-state load generation; invalidated by any link mutation.
 #pragma once
 
 #include <algorithm>
@@ -56,6 +60,54 @@ class RouteCache {
   std::uint64_t misses_ = 0;
 };
 
+/// Memoised *probe-driven* routes (modified routing, §4.3). Unlike BFS
+/// routes these depend on the live link timelines, so an entry is only
+/// returned when the query is provably identical to the one that
+/// produced it:
+///
+///   * same (from, to) endpoints,
+///   * bit-identical ready time and edge cost (they parameterise every
+///     relaxation probe), and
+///   * the same network-state *load generation* — a counter the owning
+///     state bumps on every timeline mutation (commit, deferral shift,
+///     uncommit). Equal generations mean bit-identical timelines, hence
+///     a byte-identical Dijkstra outcome; a changed generation makes the
+///     entry stale and `lookup` misses (the entry is overwritten by the
+///     next `store`).
+///
+/// This is a fast path, never a semantic change: a hit returns exactly
+/// the route the search would have recomputed.
+class ProbedRouteCache {
+ public:
+  ProbedRouteCache() = default;
+
+  /// Flushes hit/miss tallies into `net_route_memo_{hits,misses}_total`.
+  ~ProbedRouteCache();
+
+  ProbedRouteCache(const ProbedRouteCache&) = delete;
+  ProbedRouteCache& operator=(const ProbedRouteCache&) = delete;
+
+  /// The memoised route for the identical query, or nullptr on miss.
+  [[nodiscard]] const Route* lookup(NodeId from, NodeId to, double ready,
+                                    double cost, std::uint64_t generation);
+
+  /// Records a computed route for (from, to) under the given query
+  /// parameters, replacing any previous entry for the pair.
+  void store(NodeId from, NodeId to, double ready, double cost,
+             std::uint64_t generation, const Route& route);
+
+ private:
+  struct Entry {
+    double ready = 0.0;
+    double cost = 0.0;
+    std::uint64_t generation = 0;
+    Route route;
+  };
+  std::map<std::pair<NodeId, NodeId>, Entry> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 /// Static weighted shortest path; `weight(link)` must be non-negative.
 /// Defaults to per-unit transfer time 1/s(L).
 [[nodiscard]] Route dijkstra_route(
@@ -96,7 +148,82 @@ struct ProbeResult {
 namespace detail {
 inline constexpr double kInfiniteTime =
     std::numeric_limits<double>::infinity();
+
+/// Per-node Dijkstra label. Lives in a `RoutingWorkspace`, reset lazily
+/// via epoch stamps.
+struct DijkstraLabel {
+  double finish = kInfiniteTime;
+  double start = kInfiniteTime;
+  std::size_t hops = 0;
+  LinkId parent;
+  bool settled = false;
+};
+
+/// Min-heap entry ordered by (finish, start, hops, node) for
+/// deterministic relaxation.
+struct DijkstraQueueEntry {
+  double finish;
+  double start;
+  std::size_t hops;
+  NodeId node;
+  bool operator>(const DijkstraQueueEntry& other) const {
+    if (finish != other.finish) return finish > other.finish;
+    if (start != other.start) return start > other.start;
+    if (hops != other.hops) return hops > other.hops;
+    return node > other.node;
+  }
+};
 }  // namespace detail
+
+/// Reusable Dijkstra scratch: label array, epoch stamps and heap storage.
+///
+/// ## Epoch semantics
+///
+/// Every search calls `begin_search(n)`, which bumps the workspace epoch
+/// instead of clearing the O(n) label array. `label(i)` compares the
+/// node's stamp against the current epoch and lazily resets the label on
+/// first touch, so a search over a topology with N nodes initialises
+/// only the labels it actually visits. Labels read through `label()` are
+/// therefore always from the *current* search; raw `labels_[i]` access
+/// would resurrect a previous search's state and must not be added. The
+/// epoch counter is 64-bit: it does not wrap in any realistic process
+/// lifetime. A workspace belongs to one thread; schedulers own one per
+/// run and reuse it across every routed edge.
+class RoutingWorkspace {
+ public:
+  RoutingWorkspace() = default;
+
+  /// Starts a new search over `num_nodes` nodes: sizes the arrays,
+  /// bumps the epoch and clears the heap (capacity retained).
+  void begin_search(std::size_t num_nodes) {
+    if (labels_.size() < num_nodes) {
+      labels_.resize(num_nodes);
+      stamps_.resize(num_nodes, 0);
+    }
+    ++epoch_;
+    heap_.clear();
+  }
+
+  /// The node's label for the current search, default-initialised on
+  /// first touch after `begin_search`.
+  [[nodiscard]] detail::DijkstraLabel& label(std::size_t node) {
+    if (stamps_[node] != epoch_) {
+      stamps_[node] = epoch_;
+      labels_[node] = detail::DijkstraLabel{};
+    }
+    return labels_[node];
+  }
+
+  [[nodiscard]] std::vector<detail::DijkstraQueueEntry>& heap() noexcept {
+    return heap_;
+  }
+
+ private:
+  std::vector<detail::DijkstraLabel> labels_;
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t epoch_ = 0;
+  std::vector<detail::DijkstraQueueEntry> heap_;
+};
 
 /// Dynamic Dijkstra over tentative edge finish times (modified routing).
 ///
@@ -105,10 +232,15 @@ inline constexpr double kInfiniteTime =
 /// *without committing it*. Labels are ordered by (finish, virtual_start,
 /// hops) for determinism. Requires the probe to be monotone: a later
 /// arrival never yields an earlier finish, which basic insertion satisfies.
+///
+/// `workspace` lets callers amortise the label/heap allocations across
+/// searches; pass nullptr for a one-off search with local scratch.
 template <typename Probe>
 [[nodiscard]] Route dijkstra_route_probe(const Topology& topology,
                                          NodeId from, NodeId to,
-                                         double ready_time, Probe&& probe) {
+                                         double ready_time, Probe&& probe,
+                                         RoutingWorkspace* workspace =
+                                             nullptr) {
   throw_if(from.index() >= topology.num_nodes() ||
                to.index() >= topology.num_nodes(),
            "dijkstra_route_probe: invalid endpoint");
@@ -116,14 +248,9 @@ template <typename Probe>
     return {};
   }
 
-  struct Label {
-    double finish = detail::kInfiniteTime;
-    double start = detail::kInfiniteTime;
-    std::size_t hops = 0;
-    LinkId parent;
-    bool settled = false;
-  };
-  std::vector<Label> labels(topology.num_nodes());
+  RoutingWorkspace local;
+  RoutingWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ws.begin_search(topology.num_nodes());
 
   // Relaxation tally, flushed as one atomic add however the search ends
   // (batching keeps the per-relaxation cost a plain increment).
@@ -136,29 +263,23 @@ template <typename Probe>
     }
   } relaxations;
 
-  struct QueueEntry {
-    double finish;
-    double start;
-    std::size_t hops;
-    NodeId node;
-    bool operator>(const QueueEntry& other) const {
-      if (finish != other.finish) return finish > other.finish;
-      if (start != other.start) return start > other.start;
-      if (hops != other.hops) return hops > other.hops;
-      return node > other.node;
-    }
+  using detail::DijkstraQueueEntry;
+  std::vector<DijkstraQueueEntry>& frontier = ws.heap();
+  const auto heap_greater = std::greater<DijkstraQueueEntry>();
+  const auto push = [&](DijkstraQueueEntry entry) {
+    frontier.push_back(entry);
+    std::push_heap(frontier.begin(), frontier.end(), heap_greater);
   };
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>> frontier;
 
-  labels[from.index()] =
-      Label{0.0, ready_time, 0, LinkId{}, false};
-  frontier.push(QueueEntry{0.0, ready_time, 0, from});
+  ws.label(from.index()) =
+      detail::DijkstraLabel{0.0, ready_time, 0, LinkId{}, false};
+  push(DijkstraQueueEntry{0.0, ready_time, 0, from});
 
   while (!frontier.empty()) {
-    const QueueEntry entry = frontier.top();
-    frontier.pop();
-    Label& current = labels[entry.node.index()];
+    std::pop_heap(frontier.begin(), frontier.end(), heap_greater);
+    const DijkstraQueueEntry entry = frontier.back();
+    frontier.pop_back();
+    detail::DijkstraLabel& current = ws.label(entry.node.index());
     if (current.settled || entry.finish > current.finish ||
         (entry.finish == current.finish && entry.start > current.start)) {
       continue;  // stale entry
@@ -167,15 +288,18 @@ template <typename Probe>
     if (entry.node == to) {
       break;
     }
+    const double current_start = current.start;
+    const double current_finish = current.finish;
+    const std::size_t current_hops = current.hops;
     for (LinkId l : topology.out_links(entry.node)) {
       const NodeId next = topology.link(l).dst;
-      Label& next_label = labels[next.index()];
+      detail::DijkstraLabel& next_label = ws.label(next.index());
       if (next_label.settled) {
         continue;
       }
       ++relaxations.count;
       const ProbeResult result =
-          probe(l, ProbeState{current.start, current.finish});
+          probe(l, ProbeState{current_start, current_finish});
       // Lexicographic relaxation (finish, start, hops): on an idle
       // cut-through network every path yields the same finish, so hop
       // count must break ties or routes balloon.
@@ -184,24 +308,24 @@ template <typename Probe>
           (result.finish == next_label.finish &&
            (result.virtual_start < next_label.start ||
             (result.virtual_start == next_label.start &&
-             current.hops + 1 < next_label.hops)));
+             current_hops + 1 < next_label.hops)));
       if (better) {
         next_label.finish = result.finish;
         next_label.start = result.virtual_start;
-        next_label.hops = current.hops + 1;
+        next_label.hops = current_hops + 1;
         next_label.parent = l;
-        frontier.push(QueueEntry{result.finish, result.virtual_start,
-                                 next_label.hops, next});
+        push(DijkstraQueueEntry{result.finish, result.virtual_start,
+                                next_label.hops, next});
       }
     }
   }
 
-  throw_if(!labels[to.index()].parent.valid(),
+  throw_if(!ws.label(to.index()).parent.valid(),
            "dijkstra_route_probe: destination unreachable");
   Route route;
   NodeId at = to;
   while (at != from) {
-    const LinkId hop = labels[at.index()].parent;
+    const LinkId hop = ws.label(at.index()).parent;
     route.push_back(hop);
     at = topology.link(hop).src;
   }

@@ -34,6 +34,10 @@ struct HotCounters {
   svc::Counter& bandwidth_probes;      ///< BBSA bandwidth routing probes
   svc::Counter& route_cache_hits;
   svc::Counter& route_cache_misses;
+  svc::Counter& route_memo_hits;    ///< probe-route memo fast-path hits
+  svc::Counter& route_memo_misses;  ///< probe-route memo recomputations
+  svc::Counter& probe_gap_steps;    ///< idle intervals examined by probes
+  svc::Counter& optimal_scan_steps; ///< slots visited by the accum scan
   svc::Counter& tasks_placed;
   svc::Counter& edges_routed;  ///< remote edges committed to the network
   svc::Counter& pool_jobs;     ///< svc::ThreadPool jobs executed

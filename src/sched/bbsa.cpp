@@ -23,6 +23,8 @@ Schedule Bbsa::schedule(const dag::TaskGraph& graph,
   BandwidthNetworkState network(topology, options_.hop_delay);
   MachineState machines(topology);
   net::RouteCache bfs_routes(topology);
+  // Reused across every routed edge (epoch-stamped labels, see routing.hpp).
+  net::RoutingWorkspace dijkstra_ws;
   const double mls = topology.mean_link_speed();
   std::uint64_t edges_routed = 0;
 
@@ -109,7 +111,8 @@ Schedule Bbsa::schedule(const dag::TaskGraph& graph,
                                      state.min_finish, edge.cost)};
           };
           route = net::dijkstra_route_probe(topology, src.processor,
-                                            chosen, ship_time, probe);
+                                            chosen, ship_time, probe,
+                                            &dijkstra_ws);
         } else {
           route = bfs_routes.route(src.processor, chosen);
         }

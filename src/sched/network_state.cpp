@@ -24,6 +24,12 @@ ExclusiveNetworkState::ExclusiveNetworkState(const net::Topology& topology,
       hop_delay_(hop_delay) {
   throw_if(hop_delay < 0.0,
            "ExclusiveNetworkState: hop delay must be >= 0");
+  // Hoist the per-probe division out of the hot path: relaxation probes
+  // and commits consume cost * (1/s(L)) instead of cost / s(L).
+  inv_speed_.reserve(topology.num_links());
+  for (net::LinkId l : topology.all_links()) {
+    inv_speed_.push_back(1.0 / topology.link_speed(l));
+  }
 }
 
 ExclusiveNetworkState::~ExclusiveNetworkState() {
@@ -34,8 +40,16 @@ ExclusiveNetworkState::~ExclusiveNetworkState() {
     optimal += tl.probe_stats().optimal_probes;
   }
   obs::HotCounters& counters = obs::hot_counters();
+  std::uint64_t gap_steps = 0;
+  std::uint64_t scan_steps = 0;
+  for (const timeline::LinkTimeline& tl : domains_) {
+    gap_steps += tl.probe_stats().probe_gap_steps;
+    scan_steps += tl.probe_stats().optimal_scan_steps;
+  }
   if (basic > 0) counters.link_probes.increment(basic);
   if (optimal > 0) counters.optimal_probes.increment(optimal);
+  if (gap_steps > 0) counters.probe_gap_steps.increment(gap_steps);
+  if (scan_steps > 0) counters.optimal_scan_steps.increment(scan_steps);
   if (deferral_scans_ > 0) {
     counters.deferral_scans.increment(deferral_scans_);
   }
@@ -43,15 +57,6 @@ ExclusiveNetworkState::~ExclusiveNetworkState() {
   if (deferred_insertions_ > 0) {
     counters.deferred_insertions.increment(deferred_insertions_);
   }
-}
-
-timeline::Placement ExclusiveNetworkState::probe_link(net::LinkId link,
-                                                      double t_es_in,
-                                                      double t_f_min,
-                                                      double cost) const {
-  const double duration = cost / topology_->link_speed(link);
-  return domains_[topology_->domain(link).index()].probe_basic(
-      t_es_in, t_f_min, duration);
 }
 
 double ExclusiveNetworkState::commit_edge_basic(dag::EdgeId edge,
@@ -64,10 +69,11 @@ double ExclusiveNetworkState::commit_edge_basic(dag::EdgeId edge,
   EdgeRecord record;
   record.route = route;
   record.occupations.reserve(route.size());
+  record.generation_before = generation_++;
   double t_es_in = ready;
   double t_f_min = 0.0;
   for (net::LinkId link : route) {
-    const double duration = cost / topology_->link_speed(link);
+    const double duration = cost * inv_speed_[link.index()];
     timeline::LinkTimeline& tl =
         domains_[topology_->domain(link).index()];
     const timeline::Placement placement =
@@ -95,17 +101,19 @@ double ExclusiveNetworkState::commit_edge_optimal(dag::EdgeId edge,
   EdgeRecord record;
   record.route = route;
   record.occupations.reserve(route.size());
+  record.generation_before = generation_++;
   double t_es_in = ready;
   double t_f_min = 0.0;
   for (net::LinkId link : route) {
     const net::DomainId domain = topology_->domain(link);
-    const double duration = cost / topology_->link_speed(link);
+    const double duration = cost * inv_speed_[link.index()];
     timeline::LinkTimeline& tl = domains_[domain.index()];
     const auto deferral = [this, domain](const timeline::TimeSlot& slot) {
       return deferral_for(domain, slot);
     };
-    const timeline::OptimalPlacement optimal =
-        timeline::probe_optimal(tl, t_es_in, t_f_min, duration, deferral);
+    timeline::OptimalPlacement& optimal = probe_scratch_;
+    timeline::probe_optimal_into(tl, t_es_in, t_f_min, duration, deferral,
+                                 optimal);
 
     // Displaced occupants: update their records while the pre-shift slot
     // times are still visible for matching.
@@ -162,9 +170,13 @@ double ExclusiveNetworkState::commit_packet(dag::EdgeId edge,
   EDGESCHED_ASSERT_MSG(!route.empty(),
                        "cannot commit a packet on an empty route");
   EdgeRecord& record = records_[edge.index()];
+  if (!record.scheduled()) {
+    record.generation_before = generation_;
+  }
+  ++generation_;
   double arrival = ready;
   for (net::LinkId link : route) {
-    const double duration = volume / topology_->link_speed(link);
+    const double duration = volume * inv_speed_[link.index()];
     timeline::LinkTimeline& tl =
         domains_[topology_->domain(link).index()];
     // Store-and-forward: the packet is available at this hop only once it
@@ -201,6 +213,14 @@ void ExclusiveNetworkState::uncommit_edge(dag::EdgeId edge) {
       }
     }
     EDGESCHED_ASSERT_MSG(erased, "uncommit could not find the slot");
+  }
+  if (generation_ == record.generation_before + 1) {
+    // Clean rollback of the latest mutation: the timelines are exactly
+    // the pre-commit state again, so route memos keyed on the previous
+    // generation are valid once more.
+    generation_ = record.generation_before;
+  } else {
+    ++generation_;
   }
   record = EdgeRecord{};
 }

@@ -27,6 +27,10 @@ namespace edgesched::sched {
 struct EdgeRecord {
   net::Route route;
   std::vector<LinkOccupation> occupations;
+  /// Load generation the owning state had *before* this edge committed;
+  /// lets a clean rollback (`uncommit_edge` of the latest mutation)
+  /// restore the generation instead of invalidating route memos.
+  std::uint64_t generation_before = 0;
   [[nodiscard]] bool scheduled() const noexcept { return !route.empty(); }
 };
 
@@ -60,11 +64,27 @@ class ExclusiveNetworkState {
   }
 
   /// Basic-insertion probe of one link without committing — the modified
-  /// routing algorithm's relaxation step (§4.3).
+  /// routing algorithm's relaxation step (§4.3). Uses the precomputed
+  /// per-link inverse speed, so each relaxation costs a multiply, not a
+  /// divide.
   [[nodiscard]] timeline::Placement probe_link(net::LinkId link,
                                                double t_es_in,
                                                double t_f_min,
-                                               double cost) const;
+                                               double cost) const {
+    return domains_[topology_->domain(link).index()].probe_basic(
+        t_es_in, t_f_min, cost * inv_speed_[link.index()]);
+  }
+
+  /// Monotone *load generation*: bumped by every timeline mutation
+  /// (edge/packet commit, deferral shift cascade, uncommit). Two equal
+  /// generations imply bit-identical link timelines, which is what
+  /// `net::ProbedRouteCache` keys its memo validity on. The only
+  /// non-monotone step is the clean-rollback restore in `uncommit_edge`:
+  /// undoing the *latest* mutation provably returns to the previous
+  /// timeline state, so the previous generation is restored with it.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
 
   /// Schedules the edge along `route` with first-fit insertion on every
   /// hop (Basic Algorithm, §3). Returns the arrival time at the route's
@@ -109,7 +129,12 @@ class ExclusiveNetworkState {
   const net::Topology* topology_;
   std::vector<timeline::LinkTimeline> domains_;  ///< by DomainId
   std::vector<EdgeRecord> records_;              ///< by EdgeId
+  std::vector<double> inv_speed_;                ///< 1/s(L) by LinkId
   double hop_delay_ = 0.0;
+  std::uint64_t generation_ = 0;  ///< see generation()
+  /// Reused optimal-insertion scratch: one shift buffer for the whole
+  /// state instead of one heap allocation per probed hop.
+  timeline::OptimalPlacement probe_scratch_;
   // Hot-path tallies, batched into obs counters by the destructor.
   mutable std::uint64_t deferral_scans_ = 0;
   std::uint64_t slot_shifts_ = 0;

@@ -24,6 +24,11 @@ Schedule Oihsa::schedule(const dag::TaskGraph& graph,
                                 options_.hop_delay);
   MachineState machines(topology);
   net::RouteCache bfs_routes(topology);
+  // Per-run routing scratch: one epoch-stamped Dijkstra workspace reused
+  // across every routed edge, and a probe-route memo that short-circuits
+  // identical queries while the network load generation is unchanged.
+  net::RoutingWorkspace dijkstra_ws;
+  net::ProbedRouteCache route_memo;
   const double mls = topology.mean_link_speed();
   std::uint64_t edges_routed = 0;
 
@@ -111,14 +116,24 @@ Schedule Oihsa::schedule(const dag::TaskGraph& graph,
         // time given the current timelines.
         net::Route route;
         if (options_.modified_routing) {
-          const auto probe = [&](net::LinkId link,
-                                 const net::ProbeState& state) {
-            const timeline::Placement placement = network.probe_link(
-                link, state.earliest_start, state.min_finish, edge.cost);
-            return net::ProbeResult{placement.start, placement.finish};
-          };
-          route = net::dijkstra_route_probe(topology, src.processor,
-                                            chosen, ship_time, probe);
+          const std::uint64_t generation = network.generation();
+          if (const net::Route* memo = route_memo.lookup(
+                  src.processor, chosen, ship_time, edge.cost,
+                  generation)) {
+            route = *memo;
+          } else {
+            const auto probe = [&](net::LinkId link,
+                                   const net::ProbeState& state) {
+              const timeline::Placement placement = network.probe_link(
+                  link, state.earliest_start, state.min_finish, edge.cost);
+              return net::ProbeResult{placement.start, placement.finish};
+            };
+            route = net::dijkstra_route_probe(topology, src.processor,
+                                              chosen, ship_time, probe,
+                                              &dijkstra_ws);
+            route_memo.store(src.processor, chosen, ship_time, edge.cost,
+                             generation, route);
+          }
         } else {
           route = bfs_routes.route(src.processor, chosen);
         }

@@ -6,6 +6,21 @@
 // idle interval that admits the edge without violating link causality.
 // The OIHSA optimal insertion lives in optimal_insertion.hpp because it
 // additionally needs deferral slack derived from *other* links.
+//
+// ## Invariants the gap index relies on
+//
+// The slot vector is the free-gap index: slots are sorted by `start` and
+// pairwise disjoint (`check_invariants`), so the idle intervals are
+// exactly (0, slots[0].start), (slots[i].finish, slots[i+1].start), ...,
+// (slots.back().finish, +inf), and both gap ends are non-decreasing in
+// the slot index. `probe_basic` exploits that monotonicity: a gap whose
+// end precedes the edge's minimum possible finish
+// `max(t_es_in + duration, t_f_min)` can never admit the edge, so the
+// first candidate gap is found with one binary search over `start`
+// (the "first-fit hint") and the linear walk starts there instead of at
+// slot 0. Every mutation (`commit`, `erase`, `shift_slot`) must keep the
+// sorted/disjoint property or the hint search returns wrong gaps —
+// `shift_slot` may therefore only defer, never advance, a slot.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +40,13 @@ class LinkTimeline {
   struct ProbeStats {
     std::uint64_t basic_probes = 0;
     std::uint64_t optimal_probes = 0;
+    /// Idle intervals examined by `probe_basic` (after the gap-index
+    /// skip). steps/probe ≈ 1 on healthy workloads; a drift upwards
+    /// means the binary-search hint stopped paying.
+    std::uint64_t probe_gap_steps = 0;
+    /// Occupied slots visited by the optimal-insertion tail-to-head
+    /// scan (after the slack-exhaustion early exit).
+    std::uint64_t optimal_scan_steps = 0;
   };
 
   /// First-fit search: the earliest placement with
@@ -33,15 +55,29 @@ class LinkTimeline {
   /// hop (or the source task); `t_f_min` the previous hop's finish (0 on
   /// the first hop); `duration` = c(e)/s(L). Never fails: the open tail
   /// after the last slot always admits the edge.
+  ///
+  /// O(log n) binary search for the first gap that can admit the edge,
+  /// then a first-fit walk that in practice inspects O(1) gaps. Returns
+  /// placements identical to `probe_basic_linear` (property-tested).
   [[nodiscard]] Placement probe_basic(double t_es_in, double t_f_min,
                                       double duration) const;
+
+  /// Reference implementation of `probe_basic` walking every idle
+  /// interval from the head. Kept only as the property-test oracle for
+  /// the indexed search — schedulers must use `probe_basic`.
+  [[nodiscard]] Placement probe_basic_linear(double t_es_in, double t_f_min,
+                                             double duration) const;
 
   /// Inserts the probed slot. The placement must come from a probe against
   /// the current timeline state.
   void commit(const Placement& placement, dag::EdgeId edge);
 
-  /// Removes the slot at `position` (used by schedule replay and tests).
+  /// Removes the slot at `position` (used by schedule replay, the Basic
+  /// Algorithm's rollback and tests). Keeps the arena capacity.
   void erase(std::size_t position);
+
+  /// Pre-sizes the slot arena (capacity only; no slots are created).
+  void reserve(std::size_t capacity) { slots_.reserve(capacity); }
 
   [[nodiscard]] const std::vector<TimeSlot>& slots() const noexcept {
     return slots_;
@@ -59,7 +95,8 @@ class LinkTimeline {
 
   /// Direct slot mutation for the optimal-insertion cascade. `index` must
   /// be valid and the new interval must keep the sequence sorted and
-  /// disjoint (checked).
+  /// disjoint (checked) — deferral only ever moves slots later, which
+  /// preserves the gap-index monotonicity documented above.
   void shift_slot(std::size_t index, double new_earliest_start,
                   double new_start, double new_finish);
 
@@ -75,8 +112,19 @@ class LinkTimeline {
   void count_optimal_probe() const noexcept {
     ++probe_stats_.optimal_probes;
   }
+  void count_optimal_scan_steps(std::uint64_t steps) const noexcept {
+    probe_stats_.optimal_scan_steps += steps;
+  }
 
  private:
+  /// Index of the first slot whose preceding-or-own gap could admit a
+  /// finish of `min_finish` — the binary-searched first-fit hint.
+  [[nodiscard]] std::size_t first_candidate_gap(double min_finish) const;
+
+  /// Shared first-fit walk starting at gap `first` (see probe_basic).
+  [[nodiscard]] Placement probe_from(std::size_t first, double t_es_in,
+                                     double t_f_min, double duration) const;
+
   std::vector<TimeSlot> slots_;  ///< sorted by start, pairwise disjoint
   mutable ProbeStats probe_stats_;
 };

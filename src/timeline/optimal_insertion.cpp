@@ -7,9 +7,12 @@
 
 namespace edgesched::timeline {
 
-OptimalPlacement probe_optimal(const LinkTimeline& timeline, double t_es_in,
-                               double t_f_min, double duration,
-                               const DeferralFn& deferral) {
+namespace {
+
+void probe_impl(const LinkTimeline& timeline, double t_es_in,
+                double t_f_min, double duration,
+                const DeferralFn& deferral, bool early_exit,
+                OptimalPlacement& best) {
   EDGESCHED_ASSERT_MSG(duration > 0.0, "edge duration must be positive");
   timeline.count_optimal_probe();
   const std::vector<TimeSlot>& slots = timeline.slots();
@@ -17,20 +20,42 @@ OptimalPlacement probe_optimal(const LinkTimeline& timeline, double t_es_in,
 
   // Fallback: append after the last slot — always feasible. Start is
   // computed first so earliest_start <= start holds exactly.
-  OptimalPlacement best;
   {
     const double earliest = std::max(timeline.last_finish(), t_es_in);
     const double start = std::max(earliest, t_f_min - duration);
     best.placement = Placement{earliest, start, start + duration, count};
   }
+  best.shifts.clear();
+
+  // No feasible finish anywhere can precede this bound (it is the finish
+  // of the head-most conceivable gap). The slack-exhaustion early exit
+  // compares effective deadlines against it.
+  const double min_finish =
+      std::max(t_es_in, t_f_min - duration) + duration;
 
   // Tail-to-head scan (formula (2)): accum is the largest accumulated
   // deferral available at the current slot; overwriting `best` on every
   // feasible position leaves the head-most — and therefore earliest —
   // one (Theorem 1).
   double accum = 0.0;
+  std::uint64_t steps = 0;
   for (std::size_t i = count; i-- > 0;) {
     const TimeSlot& slot = slots[i];
+    if (early_exit && i + 1 < count) {
+      // Slack exhaustion: even with unbounded own slack, this slot's
+      // effective deadline cannot exceed the tail's accumulated slack
+      // plus the gap just crossed. Deadlines only shrink head-wards
+      // (slot.start + accum is non-increasing as i decreases), so once
+      // the bound drops below the minimum feasible finish no head-ward
+      // position can admit the edge; the append fallback or a feasible
+      // position already found stands.
+      const double deadline_bound =
+          slot.start + accum + (slots[i + 1].start - slot.finish);
+      if (deadline_bound + 2.0 * time_eps(min_finish) < min_finish) {
+        break;
+      }
+    }
+    ++steps;
     const double dt = std::max(0.0, deferral(slot));
     if (i + 1 == count) {
       accum = dt;
@@ -45,9 +70,9 @@ OptimalPlacement probe_optimal(const LinkTimeline& timeline, double t_es_in,
       best.placement = Placement{earliest, start, finish, i};
     }
   }
+  timeline.count_optimal_scan_steps(steps);
 
   // Cascade of displaced slots behind the chosen position.
-  best.shifts.clear();
   double frontier = best.placement.finish;
   for (std::size_t j = best.placement.position; j < count; ++j) {
     const TimeSlot& slot = slots[j];
@@ -64,6 +89,33 @@ OptimalPlacement probe_optimal(const LinkTimeline& timeline, double t_es_in,
                                     slot.finish + delta});
     frontier = slot.finish + delta;
   }
+}
+
+}  // namespace
+
+OptimalPlacement probe_optimal(const LinkTimeline& timeline, double t_es_in,
+                               double t_f_min, double duration,
+                               const DeferralFn& deferral) {
+  OptimalPlacement best;
+  probe_impl(timeline, t_es_in, t_f_min, duration, deferral,
+             /*early_exit=*/true, best);
+  return best;
+}
+
+void probe_optimal_into(const LinkTimeline& timeline, double t_es_in,
+                        double t_f_min, double duration,
+                        const DeferralFn& deferral, OptimalPlacement& out) {
+  probe_impl(timeline, t_es_in, t_f_min, duration, deferral,
+             /*early_exit=*/true, out);
+}
+
+OptimalPlacement probe_optimal_linear(const LinkTimeline& timeline,
+                                      double t_es_in, double t_f_min,
+                                      double duration,
+                                      const DeferralFn& deferral) {
+  OptimalPlacement best;
+  probe_impl(timeline, t_es_in, t_f_min, duration, deferral,
+             /*early_exit=*/false, best);
   return best;
 }
 

@@ -10,6 +10,18 @@
 // plus that slack (formula (3)). Theorem 1: the head-most feasible
 // position yields the earliest possible start.
 //
+// ## Early exit on slack exhaustion
+//
+// The scan keeps the invariant that a slot's *effective deadline*
+// `slot.start + accum` is non-increasing towards the head (accum can grow
+// head-wards only by the gap it just crossed, which the start loses
+// again). The candidate finish, by contrast, can never drop below
+// `max(t_es_in + duration, t_f_min)`. Once the deadline falls below that
+// bound, no head-ward position can ever be feasible and the scan stops —
+// on packed timelines probed near the tail this turns the O(n) walk into
+// O(tail window). The placements produced are identical to the full scan
+// (property-tested).
+//
 // Deferral slack depends on where each occupant edge sits on its *next*
 // route link, which only the scheduler knows — callers supply it through
 // `DeferralFn`.
@@ -49,6 +61,19 @@ struct OptimalPlacement {
                                              double t_es_in, double t_f_min,
                                              double duration,
                                              const DeferralFn& deferral);
+
+/// Allocation-free variant: writes the result into `out`, reusing its
+/// shift buffer. The per-edge hot loop (one probe per route hop) calls
+/// this with a scratch `OptimalPlacement` owned by the network state.
+void probe_optimal_into(const LinkTimeline& timeline, double t_es_in,
+                        double t_f_min, double duration,
+                        const DeferralFn& deferral, OptimalPlacement& out);
+
+/// Reference probe without the slack-exhaustion early exit; the
+/// property-test oracle for `probe_optimal`. Schedulers must not use it.
+[[nodiscard]] OptimalPlacement probe_optimal_linear(
+    const LinkTimeline& timeline, double t_es_in, double t_f_min,
+    double duration, const DeferralFn& deferral);
 
 /// Applies a probed optimal placement: shifts the displaced slots, then
 /// inserts the new slot. The placement must have been probed against the

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "net/builders.hpp"
+#include "sched/network_state.hpp"
 
 namespace edgesched::net {
 namespace {
@@ -234,6 +235,132 @@ TEST(DijkstraRouteProbe, MatchesBfsHopCountOnUniformIdleNetwork) {
     // On an idle homogeneous network the probe cost is hop count, so the
     // routes have equal length (ties may pick different links).
     EXPECT_EQ(dij.size(), bfs.size());
+  }
+}
+
+// --- ProbedRouteCache / RoutingWorkspace -------------------------------
+//
+// The memo's validity rule (routing.hpp): a hit requires the exact same
+// query AND an unchanged network load generation. These tests pin down
+// that a link mutation can never let a stale route escape the cache.
+
+/// Load-aware probe over an ExclusiveNetworkState, as OIHSA issues it.
+struct LoadedProbe {
+  const sched::ExclusiveNetworkState& network;
+  double cost;
+  ProbeResult operator()(LinkId link, const ProbeState& state) const {
+    const timeline::Placement p = network.probe_link(
+        link, state.earliest_start, state.min_finish, cost);
+    return ProbeResult{p.start, p.finish};
+  }
+};
+
+TEST(ProbedRouteCache, MissesAfterLinkMutation) {
+  TwoPathNetwork net;
+  sched::ExclusiveNetworkState network(net.topology, 4);
+  ProbedRouteCache memo;
+  const double cost = 2.0;
+  const LoadedProbe probe{network, cost};
+
+  const std::uint64_t g0 = network.generation();
+  const Route before =
+      dijkstra_route_probe(net.topology, net.a, net.b, 0.0, probe);
+  memo.store(net.a, net.b, 0.0, cost, g0, before);
+  ASSERT_NE(memo.lookup(net.a, net.b, 0.0, cost, g0), nullptr);
+  EXPECT_EQ(before, (Route{net.a_s1, net.s1_b}));
+
+  // Pile load onto the short path: the next query would steer around it,
+  // so serving the memoized route now WOULD be stale.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    network.commit_edge_basic(dag::EdgeId(i),
+                              Route{net.a_s1, net.s1_b}, 0.0, 50.0);
+  }
+  const std::uint64_t g1 = network.generation();
+  ASSERT_NE(g1, g0);
+  // Invalidation: the mutated generation can never hit the old entry.
+  EXPECT_EQ(memo.lookup(net.a, net.b, 0.0, cost, g1), nullptr);
+  // And the fresh computation indeed differs from the cached route.
+  const Route after =
+      dijkstra_route_probe(net.topology, net.a, net.b, 0.0, probe);
+  EXPECT_EQ(after, (Route{net.a_s2, net.s2_s3, net.s3_b}));
+  EXPECT_NE(after, before);
+}
+
+TEST(ProbedRouteCache, HitRequiresIdenticalQuery) {
+  TwoPathNetwork net;
+  ProbedRouteCache memo;
+  memo.store(net.a, net.b, 1.0, 2.0, 7, Route{net.a_s1, net.s1_b});
+  EXPECT_NE(memo.lookup(net.a, net.b, 1.0, 2.0, 7), nullptr);
+  EXPECT_EQ(memo.lookup(net.a, net.b, 1.5, 2.0, 7), nullptr);  // ready
+  EXPECT_EQ(memo.lookup(net.a, net.b, 1.0, 3.0, 7), nullptr);  // cost
+  EXPECT_EQ(memo.lookup(net.b, net.a, 1.0, 2.0, 7), nullptr);  // reversed
+}
+
+TEST(ProbedRouteCache, CleanRollbackRestoresValidity) {
+  TwoPathNetwork net;
+  sched::ExclusiveNetworkState network(net.topology, 4);
+  ProbedRouteCache memo;
+  const double cost = 2.0;
+  const LoadedProbe probe{network, cost};
+
+  const std::uint64_t g0 = network.generation();
+  const Route route =
+      dijkstra_route_probe(net.topology, net.a, net.b, 0.0, probe);
+  memo.store(net.a, net.b, 0.0, cost, g0, route);
+
+  // Tentative commit + immediate uncommit (the Basic Algorithm's
+  // evaluation pattern) provably restores the timelines, so the
+  // generation — and with it the memo's validity — must come back.
+  network.commit_edge_basic(dag::EdgeId(0u), Route{net.a_s1, net.s1_b},
+                            0.0, 50.0);
+  EXPECT_EQ(memo.lookup(net.a, net.b, 0.0, cost, network.generation()),
+            nullptr);
+  network.uncommit_edge(dag::EdgeId(0u));
+  EXPECT_EQ(network.generation(), g0);
+  const Route* hit =
+      memo.lookup(net.a, net.b, 0.0, cost, network.generation());
+  ASSERT_NE(hit, nullptr);
+  // The restored-state memo answer matches a fresh search exactly.
+  EXPECT_EQ(*hit,
+            dijkstra_route_probe(net.topology, net.a, net.b, 0.0, probe));
+
+  // Out-of-order rollback cannot prove restoration: generation must NOT
+  // return to a previously seen value.
+  network.commit_edge_basic(dag::EdgeId(1u), Route{net.a_s1, net.s1_b},
+                            0.0, 10.0);
+  network.commit_edge_basic(dag::EdgeId(2u), Route{net.a_s1, net.s1_b},
+                            0.0, 10.0);
+  const std::uint64_t g_both = network.generation();
+  network.uncommit_edge(dag::EdgeId(1u));  // not the latest mutation
+  EXPECT_NE(network.generation(), g0);
+  EXPECT_NE(network.generation(), g_both);
+}
+
+TEST(RoutingWorkspace, ReuseMatchesFreshSearches) {
+  Rng rng(29);
+  RandomWanParams params;
+  params.num_processors = 20;
+  const Topology t = random_wan(params, rng);
+  sched::ExclusiveNetworkState network(t, 64);
+  const LoadedProbe probe{network, 3.0};
+  // Load a few links so probes see non-trivial timelines.
+  const auto& procs = t.processors();
+  for (std::uint32_t i = 0; i + 1 < 8; ++i) {
+    const Route r = bfs_route(t, procs[i], procs[i + 1]);
+    if (!r.empty()) {
+      network.commit_edge_basic(dag::EdgeId(i), r, 0.0, 5.0);
+    }
+  }
+  RoutingWorkspace workspace;
+  for (std::size_t i = 0; i < procs.size(); i += 2) {
+    for (std::size_t j = 1; j < procs.size(); j += 3) {
+      if (procs[i] == procs[j]) continue;
+      const Route fresh =
+          dijkstra_route_probe(t, procs[i], procs[j], 0.5, probe);
+      const Route reused = dijkstra_route_probe(t, procs[i], procs[j],
+                                                0.5, probe, &workspace);
+      EXPECT_EQ(fresh, reused);
+    }
   }
 }
 

@@ -1,0 +1,134 @@
+// Benchmark regression gate.
+//
+// Compares two google-benchmark JSON files (--benchmark_out format) and
+// fails when any benchmark common to both slowed down by more than the
+// allowed factor. CI runs this against the committed baseline under
+// bench/baselines/ so hot-path regressions fail the job. Usage:
+//
+//   bench_compare <baseline.json> <candidate.json> [--max-regression 0.10]
+//                 [--filter <substring>]
+//
+// Matching is by benchmark name; the compared quantity is cpu_time
+// (wall-clock real_time is too noisy on shared CI runners, cpu_time less
+// so — still, the default 10% band exists precisely because identical
+// code jitters a few percent between runs). Benchmarks present in only
+// one file are reported but never fail the gate, so adding or renaming a
+// benchmark does not require regenerating the baseline in the same
+// commit. Exit codes: 0 ok, 1 regression, 2 usage/parse error.
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using edgesched::obs::JsonValue;
+
+/// name -> cpu_time (ns) for every non-aggregate benchmark entry.
+std::map<std::string, double> load_benchmarks(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buffer.str());
+  std::map<std::string, double> out;
+  const JsonValue& benchmarks = doc.at("benchmarks");
+  for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+    const JsonValue& entry = benchmarks.at(i);
+    // Skip aggregates (mean/median/stddev rows of repeated runs).
+    if (entry.contains("run_type") &&
+        entry.at("run_type").as_string() != "iteration") {
+      continue;
+    }
+    out[entry.at("name").as_string()] = entry.at("cpu_time").as_number();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  double max_regression = 0.10;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-regression") == 0 && i + 1 < argc) {
+      max_regression = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--filter") == 0 && i + 1 < argc) {
+      filter = argv[++i];
+    } else if (baseline_path.empty()) {
+      baseline_path = argv[i];
+    } else if (candidate_path.empty()) {
+      candidate_path = argv[i];
+    } else {
+      std::cerr << "bench_compare: unexpected argument " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::cerr << "usage: bench_compare <baseline.json> <candidate.json>"
+                 " [--max-regression 0.10] [--filter <substring>]\n";
+    return 2;
+  }
+
+  std::map<std::string, double> baseline;
+  std::map<std::string, double> candidate;
+  try {
+    baseline = load_benchmarks(baseline_path);
+    candidate = load_benchmarks(candidate_path);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+
+  bool failed = false;
+  std::size_t compared = 0;
+  std::cout << std::fixed << std::setprecision(2);
+  for (const auto& [name, base_ns] : baseline) {
+    if (!filter.empty() && name.find(filter) == std::string::npos) {
+      continue;
+    }
+    const auto it = candidate.find(name);
+    if (it == candidate.end()) {
+      std::cout << "  ~ " << name << ": only in baseline (skipped)\n";
+      continue;
+    }
+    ++compared;
+    const double cand_ns = it->second;
+    const double ratio = base_ns > 0.0 ? cand_ns / base_ns : 1.0;
+    const bool regressed = ratio > 1.0 + max_regression;
+    std::cout << (regressed ? "  ✗ " : "  ✓ ") << name << ": "
+              << base_ns << " -> " << cand_ns << " ns  ("
+              << (ratio >= 1.0 ? "+" : "") << (ratio - 1.0) * 100.0
+              << "%)\n";
+    failed |= regressed;
+  }
+  for (const auto& [name, _] : candidate) {
+    if (!filter.empty() && name.find(filter) == std::string::npos) {
+      continue;
+    }
+    if (baseline.find(name) == baseline.end()) {
+      std::cout << "  ~ " << name << ": new benchmark (no baseline)\n";
+    }
+  }
+  if (compared == 0) {
+    std::cerr << "bench_compare: no common benchmarks to compare\n";
+    return 2;
+  }
+  if (failed) {
+    std::cerr << "bench_compare: regression beyond "
+              << max_regression * 100.0 << "% threshold\n";
+    return 1;
+  }
+  std::cout << compared << " benchmarks within " << max_regression * 100.0
+            << "% of baseline\n";
+  return 0;
+}
