@@ -1,15 +1,14 @@
-// Side-by-side schedule dump: run all algorithms on one small instance
-// and print the full Gantt-style schedules, making the booked link slots
-// and bandwidth profiles visible.
+// Side-by-side schedule dump: run every engine-backed algorithm bundle
+// from the registry on one small instance and print the full
+// Gantt-style schedules, making the booked link slots and bandwidth
+// profiles visible.
 //
 //   $ ./build/examples/compare_algorithms
 #include <iostream>
 
 #include "dag/generators.hpp"
 #include "net/builders.hpp"
-#include "sched/ba.hpp"
-#include "sched/bbsa.hpp"
-#include "sched/oihsa.hpp"
+#include "sched/registry.hpp"
 #include "sched/validator.hpp"
 
 int main() {
@@ -25,7 +24,14 @@ int main() {
   std::cout << "instance: join(4) with edge cost 9 on a 3-processor "
                "switched star\n\n";
 
-  for (const auto& scheduler : sched::all_schedulers()) {
+  for (const sched::AlgorithmEntry& entry : sched::algorithm_registry()) {
+    if (!entry.engine_backed()) {
+      continue;  // classic/ga/sa ignore link contention — not comparable
+    }
+    const sched::AlgorithmSpec spec = entry.spec();
+    std::cout << "== " << entry.display << ": " << spec.describe()
+              << " ==\n";
+    const auto scheduler = entry.make();
     const sched::Schedule s = scheduler->schedule(graph, star);
     sched::validate_or_throw(graph, star, s);
     std::cout << s.to_string(graph, star) << "\n";

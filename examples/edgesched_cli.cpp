@@ -6,8 +6,11 @@
 //                 (--topology FILE | --wan N | --star N | --ring N |
 //                  --fully-connected N)
 //                 [--heterogeneous] [--seed S]
-//                 [--algorithm ba|oihsa|bbsa|packet|classic|ga|sa]
+//                 [--algorithm NAME] [--list-algorithms]
 //                 [--ccr X] [--output schedule|metrics|gantt|trace|dot]
+//
+// Algorithm names come from the central registry (sched/registry.hpp);
+// `--list-algorithms` prints every key with its policy bundle.
 //
 // Examples:
 //   edgesched_cli --graph wf.txt --wan 16 --algorithm oihsa
@@ -23,14 +26,8 @@
 #include "dag/serialization.hpp"
 #include "net/builders.hpp"
 #include "net/serialization.hpp"
-#include "sched/annealing.hpp"
-#include "sched/ba.hpp"
-#include "sched/bbsa.hpp"
-#include "sched/classic.hpp"
-#include "sched/genetic.hpp"
 #include "sched/metrics.hpp"
-#include "sched/oihsa.hpp"
-#include "sched/packetized.hpp"
+#include "sched/registry.hpp"
 #include "sched/trace_export.hpp"
 #include "sched/validator.hpp"
 
@@ -59,9 +56,17 @@ struct Args {
       << "usage: edgesched_cli --graph FILE [--graph-format text|stg]\n"
          "         (--topology FILE | --wan N | --star N | --ring N |\n"
          "          --fully-connected N) [--heterogeneous] [--seed S]\n"
-         "         [--algorithm ba|oihsa|bbsa|packet|classic|ga|sa]\n"
+         "         [--algorithm NAME] [--list-algorithms]\n"
          "         [--ccr X]\n"
-         "         [--output schedule|metrics|gantt|trace|dot]\n";
+         "         [--output schedule|metrics|gantt|trace|dot]\n"
+         "algorithms (see --list-algorithms for the policy bundles):\n"
+         "  ";
+  bool first = true;
+  for (const sched::AlgorithmEntry& entry : sched::algorithm_registry()) {
+    std::cerr << (first ? "" : " | ") << entry.key;
+    first = false;
+  }
+  std::cerr << "\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -92,6 +97,9 @@ Args parse(int argc, char** argv) {
       args.seed = std::stoull(next(i));
     } else if (flag == "--algorithm") {
       args.algorithm = next(i);
+    } else if (flag == "--list-algorithms") {
+      std::cout << sched::algorithm_list();
+      std::exit(0);
     } else if (flag == "--ccr") {
       args.ccr = std::stod(next(i));
     } else if (flag == "--output") {
@@ -153,26 +161,9 @@ net::Topology load_topology(const Args& args) {
 }
 
 std::unique_ptr<sched::Scheduler> make_scheduler(const Args& args) {
-  if (args.algorithm == "ba") {
-    return std::make_unique<sched::BasicAlgorithm>();
-  }
-  if (args.algorithm == "oihsa") {
-    return std::make_unique<sched::Oihsa>();
-  }
-  if (args.algorithm == "bbsa") {
-    return std::make_unique<sched::Bbsa>();
-  }
-  if (args.algorithm == "packet") {
-    return std::make_unique<sched::PacketizedBa>();
-  }
-  if (args.algorithm == "classic") {
-    return std::make_unique<sched::ClassicScheduler>();
-  }
-  if (args.algorithm == "ga") {
-    return std::make_unique<sched::GeneticScheduler>();
-  }
-  if (args.algorithm == "sa") {
-    return std::make_unique<sched::AnnealingScheduler>();
+  if (const sched::AlgorithmEntry* entry =
+          sched::find_algorithm(args.algorithm)) {
+    return entry->make();
   }
   usage("unknown algorithm " + args.algorithm);
 }

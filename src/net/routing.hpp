@@ -225,6 +225,20 @@ class RoutingWorkspace {
   std::vector<detail::DijkstraQueueEntry> heap_;
 };
 
+/// Per-run routing scratch state, bundled so a routing policy owns one
+/// object instead of each scheduler re-declaring the pieces: the BFS
+/// route cache (static minimal routing), the epoch-stamped Dijkstra
+/// workspace (reused across every routed edge of a run), and the
+/// generation-keyed probe-route memo. One scratch belongs to one run on
+/// one thread; constructing it is cheap (the workspace sizes itself on
+/// first search).
+struct RoutingScratch {
+  explicit RoutingScratch(const Topology& topology) : bfs(topology) {}
+  RouteCache bfs;
+  RoutingWorkspace workspace;
+  ProbedRouteCache memo;
+};
+
 /// Dynamic Dijkstra over tentative edge finish times (modified routing).
 ///
 /// The probe is called with a candidate link and the state arriving at its

@@ -1,0 +1,36 @@
+#include "obs/naming.hpp"
+
+#include <cctype>
+#include <mutex>
+#include <unordered_set>
+
+namespace edgesched::obs {
+
+namespace {
+std::mutex g_intern_mutex;
+std::unordered_set<std::string>& intern_table() {
+  // Leaked on purpose: interned names must outlive every tracer export,
+  // including ones that happen during static destruction.
+  static auto* table = new std::unordered_set<std::string>();
+  return *table;
+}
+}  // namespace
+
+const char* intern_name(std::string_view name) {
+  std::lock_guard<std::mutex> lock(g_intern_mutex);
+  return intern_table().emplace(name).first->c_str();
+}
+
+SpanNames::SpanNames(std::string_view algorithm) {
+  std::string prefix;
+  prefix.reserve(algorithm.size());
+  for (const char c : algorithm) {
+    prefix.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  schedule = intern_name(prefix + "/schedule");
+  select_processor = intern_name(prefix + "/select_processor");
+  route_edge = intern_name(prefix + "/route_edge");
+}
+
+}  // namespace edgesched::obs

@@ -1,0 +1,34 @@
+// Spec-derived observability names.
+//
+// The scheduling engine names its spans and decision records after the
+// algorithm bundle it is running ("ba/schedule", "oihsa/route_edge", ...),
+// one scheme for every bundle instead of per-algorithm string literals.
+// `Span` stores names by pointer for the disabled-tracing fast path, so
+// dynamically derived names must outlive every tracer export:
+// `intern_name` returns a process-lifetime pointer for any string, and
+// `SpanNames` derives the three per-phase names of one bundle once per
+// run (three interner lookups, nothing on the per-task path).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace edgesched::obs {
+
+/// Returns a pointer to a process-lifetime copy of `name`. Repeated calls
+/// with equal strings return the same pointer. Thread-safe; the intern
+/// table is append-only and never freed (bounded by the set of distinct
+/// algorithm names seen in the process).
+[[nodiscard]] const char* intern_name(std::string_view name);
+
+/// The per-phase span names of one algorithm bundle: lower-cased display
+/// name plus the fixed phase suffixes the tracer dashboarding keys on.
+struct SpanNames {
+  explicit SpanNames(std::string_view algorithm);
+
+  const char* schedule;          ///< "<algo>/schedule"
+  const char* select_processor;  ///< "<algo>/select_processor"
+  const char* route_edge;        ///< "<algo>/route_edge"
+};
+
+}  // namespace edgesched::obs

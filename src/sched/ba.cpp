@@ -1,185 +1,33 @@
 #include "sched/ba.hpp"
 
-#include <algorithm>
-#include <limits>
-
-#include "net/routing.hpp"
-#include "obs/counters.hpp"
-#include "obs/decision_log.hpp"
-#include "obs/trace.hpp"
-#include "sched/network_state.hpp"
+#include "sched/engine.hpp"
 
 namespace edgesched::sched {
+
+AlgorithmSpec BasicAlgorithm::spec(const Options& options) {
+  AlgorithmSpec spec;
+  spec.name = "BA";
+  spec.priority = options.priority;
+  spec.selection = options.selection == BaProcessorSelection::kReadyTimeEft
+                       ? SelectionPolicyKind::kBlindEft
+                       : SelectionPolicyKind::kTentativeEft;
+  spec.edge_order = EdgeOrderPolicyKind::kPredecessorOrder;
+  spec.routing = RoutingPolicyKind::kBfsMinimal;
+  spec.insertion = InsertionPolicyKind::kFirstFit;
+  spec.eager_communication = options.eager_communication;
+  spec.task_insertion = options.task_insertion;
+  spec.hop_delay = options.hop_delay;
+  return spec;
+}
 
 Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
                                   const net::Topology& topology) const {
   check_inputs(graph, topology);
-  obs::Span run_span("ba/schedule", "sched", graph.num_tasks());
-  obs::DecisionLog* const log = obs::active_decision_log();
-  Schedule out(name(), graph.num_tasks(), graph.num_edges());
+  return ListSchedulingEngine(spec(options_)).run(graph, topology);
+}
 
-  const std::vector<dag::TaskId> order =
-      list_order(graph, options_.priority);
-  ExclusiveNetworkState network(topology, graph.num_edges(),
-                                options_.hop_delay);
-  MachineState machines(topology);
-  net::RouteCache routes(topology);
-
-  // Edges this trial committed, for rollback between candidate processors.
-  std::vector<dag::EdgeId> committed;
-  std::uint64_t edges_routed = 0;
-
-  for (dag::TaskId task : order) {
-    const double weight = graph.weight(task);
-
-    // Dynamic model (§4.1): the task's placement is decided when it
-    // becomes ready, so its communications cannot leave earlier than the
-    // latest predecessor finish.
-    double ready_moment = 0.0;
-    for (dag::EdgeId e : graph.in_edges(task)) {
-      ready_moment =
-          std::max(ready_moment, out.task(graph.edge(e).src).finish);
-    }
-
-    // Processor selection (Algorithm 1, step 3).
-    net::NodeId best_processor;
-    double best_finish = std::numeric_limits<double>::infinity();
-    double best_start = 0.0;
-    std::vector<obs::ProcessorCandidate> candidates;
-
-    obs::Span select_span("ba/select_processor", "sched", task.value());
-    if (options_.selection == BaProcessorSelection::kReadyTimeEft) {
-      // Communication-blind EFT (§4.1): ready moment + execution time,
-      // inserted into the processor timeline.
-      for (net::NodeId processor : topology.processors()) {
-        const double duration =
-            weight / topology.processor_speed(processor);
-        const double start = machines.start_for(
-            processor, ready_moment, duration, options_.task_insertion);
-        const double finish = start + duration;
-        if (log != nullptr) {
-          candidates.push_back(obs::ProcessorCandidate{
-              static_cast<std::uint32_t>(processor.index()),
-              ready_moment, finish});
-        }
-        if (finish < best_finish) {
-          best_finish = finish;
-          best_processor = processor;
-        }
-      }
-      best_start = -1.0;  // recomputed after the edges are booked
-    } else {
-      // Tentative evaluation: schedule the task with all its incoming
-      // communications on every processor, roll the network back, keep
-      // the true earliest finish. Basic insertion never displaces
-      // existing slots, so rollback is a plain erase.
-      for (net::NodeId processor : topology.processors()) {
-        committed.clear();
-        double data_ready = ready_moment;
-        for (dag::EdgeId e : graph.in_edges(task)) {
-          const dag::Edge& edge = graph.edge(e);
-          const TaskPlacement& src = out.task(edge.src);
-          double arrival = src.finish;
-          if (src.processor != processor && edge.cost > 0.0) {
-            const double ship_time =
-                options_.eager_communication ? src.finish : ready_moment;
-            const net::Route& route =
-                routes.route(src.processor, processor);
-            arrival =
-                network.commit_edge_basic(e, route, ship_time, edge.cost);
-            committed.push_back(e);
-          }
-          data_ready = std::max(data_ready, arrival);
-        }
-        const double duration =
-            weight / topology.processor_speed(processor);
-        const double start = machines.start_for(
-            processor, data_ready, duration, options_.task_insertion);
-        const double finish = start + duration;
-        if (log != nullptr) {
-          candidates.push_back(obs::ProcessorCandidate{
-              static_cast<std::uint32_t>(processor.index()), data_ready,
-              finish});
-        }
-        if (finish < best_finish) {
-          best_finish = finish;
-          best_start = start;
-          best_processor = processor;
-        }
-        for (auto it = committed.rbegin(); it != committed.rend(); ++it) {
-          network.uncommit_edge(*it);
-        }
-      }
-    }
-    select_span.close();
-    if (log != nullptr) {
-      log->record(obs::TaskDecision{
-          name(), static_cast<std::uint32_t>(task.index()),
-          static_cast<std::uint32_t>(best_processor.index()), best_finish,
-          std::move(candidates)});
-    }
-
-    // Re-commit for the winning processor and record the schedule.
-    const double duration =
-        weight / topology.processor_speed(best_processor);
-    double data_ready = ready_moment;
-    for (dag::EdgeId e : graph.in_edges(task)) {
-      const dag::Edge& edge = graph.edge(e);
-      const TaskPlacement& src = out.task(edge.src);
-      EdgeCommunication comm;
-      comm.arrival = src.finish;
-      double ship_time = src.finish;
-      if (src.processor == best_processor || edge.cost <= 0.0) {
-        comm.kind = EdgeCommunication::Kind::kLocal;
-      } else {
-        obs::Span route_span("ba/route_edge", "sched", e.value());
-        ship_time =
-            options_.eager_communication ? src.finish : ready_moment;
-        const net::Route& route =
-            routes.route(src.processor, best_processor);
-        comm.arrival =
-            network.commit_edge_basic(e, route, ship_time, edge.cost);
-        comm.kind = EdgeCommunication::Kind::kExclusive;
-        comm.route = route;
-        comm.occupations = network.record(e).occupations;
-        ++edges_routed;
-      }
-      if (log != nullptr) {
-        obs::EdgeDecision decision;
-        decision.algorithm = name();
-        decision.edge = static_cast<std::uint32_t>(e.index());
-        decision.src_task = static_cast<std::uint32_t>(edge.src.index());
-        decision.dst_task = static_cast<std::uint32_t>(edge.dst.index());
-        decision.local = comm.kind == EdgeCommunication::Kind::kLocal;
-        decision.ship_time = ship_time;
-        decision.arrival = comm.arrival;
-        for (const LinkOccupation& occ : comm.occupations) {
-          decision.hops.push_back(obs::EdgeHop{
-              static_cast<std::uint32_t>(occ.link.index()), occ.start,
-              occ.finish});
-        }
-        log->record(std::move(decision));
-      }
-      data_ready = std::max(data_ready, comm.arrival);
-      out.set_communication(e, std::move(comm));
-    }
-    const double start = machines.start_for(
-        best_processor, data_ready, duration, options_.task_insertion);
-    EDGESCHED_ASSERT_MSG(
-        options_.selection == BaProcessorSelection::kReadyTimeEft ||
-            std::abs(start - best_start) <= 1e-9,
-        "re-commit diverged from the tentative evaluation");
-    machines.commit(best_processor, task, start, duration);
-    out.place_task(task,
-                   TaskPlacement{best_processor, start, start + duration});
-  }
-
-  obs::HotCounters& counters = obs::hot_counters();
-  counters.tasks_placed.increment(order.size());
-  if (edges_routed > 0) {
-    counters.edges_routed.increment(edges_routed);
-  }
-  return out;
+std::uint64_t BasicAlgorithm::fingerprint() const {
+  return spec(options_).fingerprint();
 }
 
 }  // namespace edgesched::sched

@@ -9,6 +9,7 @@
 //      booked on links with first-fit ("basic") insertion.
 #pragma once
 
+#include "sched/algorithm_spec.hpp"
 #include "sched/priorities.hpp"
 #include "sched/scheduler.hpp"
 
@@ -56,10 +57,15 @@ class BasicAlgorithm final : public Scheduler {
   BasicAlgorithm() = default;
   explicit BasicAlgorithm(const Options& options) : options_(options) {}
 
+  /// The engine bundle these options denote (BA is a preset of the
+  /// policy-based list-scheduling engine; see sched/engine.hpp).
+  [[nodiscard]] static AlgorithmSpec spec(const Options& options);
+
   [[nodiscard]] Schedule schedule(
       const dag::TaskGraph& graph,
       const net::Topology& topology) const override;
   [[nodiscard]] std::string name() const override { return "BA"; }
+  [[nodiscard]] std::uint64_t fingerprint() const override;
 
  private:
   Options options_;

@@ -1,164 +1,41 @@
 #include "sched/bbsa.hpp"
 
-#include <algorithm>
-#include <limits>
-
-#include "net/routing.hpp"
-#include "obs/counters.hpp"
-#include "obs/decision_log.hpp"
-#include "obs/trace.hpp"
-#include "sched/network_state.hpp"
+#include "sched/engine.hpp"
 
 namespace edgesched::sched {
+
+AlgorithmSpec Bbsa::spec(const Options& options) {
+  AlgorithmSpec spec;
+  spec.name = "BBSA";
+  spec.priority = options.priority;
+  // Processor choice is identical to OIHSA (§4.1) with the availability
+  // term read literally from the processor's finish time.
+  spec.selection = SelectionPolicyKind::kMlsEstimate;
+  spec.edge_order = options.edge_priority_by_cost
+                        ? EdgeOrderPolicyKind::kByCostDescending
+                        : EdgeOrderPolicyKind::kPredecessorOrder;
+  spec.routing = options.modified_routing ? RoutingPolicyKind::kProbeDijkstra
+                                          : RoutingPolicyKind::kBfsMinimal;
+  // No route memo: BBSA commits every routed edge immediately, and the
+  // commit bumps the bandwidth generation, so a memoised route could
+  // never be reused — the memo would be pure map churn. (Enabling it is
+  // still sound; the policy-matrix suite proves it byte-identical.)
+  spec.route_memo = false;
+  spec.insertion = InsertionPolicyKind::kFluidBandwidth;
+  spec.eager_communication = options.eager_communication;
+  spec.task_insertion = options.task_insertion;
+  spec.hop_delay = options.hop_delay;
+  return spec;
+}
 
 Schedule Bbsa::schedule(const dag::TaskGraph& graph,
                         const net::Topology& topology) const {
   check_inputs(graph, topology);
-  obs::Span run_span("bbsa/schedule", "sched", graph.num_tasks());
-  obs::DecisionLog* const log = obs::active_decision_log();
-  Schedule out(name(), graph.num_tasks(), graph.num_edges());
+  return ListSchedulingEngine(spec(options_)).run(graph, topology);
+}
 
-  const std::vector<dag::TaskId> order =
-      list_order(graph, options_.priority);
-  BandwidthNetworkState network(topology, options_.hop_delay);
-  MachineState machines(topology);
-  net::RouteCache bfs_routes(topology);
-  // Reused across every routed edge (epoch-stamped labels, see routing.hpp).
-  net::RoutingWorkspace dijkstra_ws;
-  const double mls = topology.mean_link_speed();
-  std::uint64_t edges_routed = 0;
-
-  for (dag::TaskId task : order) {
-    const double weight = graph.weight(task);
-
-    // Dynamic model (§4.1): communications leave when the task is ready.
-    double ready_moment = 0.0;
-    for (dag::EdgeId e : graph.in_edges(task)) {
-      ready_moment =
-          std::max(ready_moment, out.task(graph.edge(e).src).finish);
-    }
-
-    // Processor choice — identical to OIHSA (§4.1).
-    net::NodeId chosen;
-    double chosen_estimate = std::numeric_limits<double>::infinity();
-    std::vector<obs::ProcessorCandidate> candidates;
-    {
-      obs::Span select_span("bbsa/select_processor", "sched",
-                            task.value());
-      for (net::NodeId processor : topology.processors()) {
-        double ready_estimate = 0.0;
-        for (dag::EdgeId e : graph.in_edges(task)) {
-          const dag::Edge& edge = graph.edge(e);
-          const TaskPlacement& src = out.task(edge.src);
-          double via = src.finish;
-          if (src.processor != processor && mls > 0.0) {
-            via += edge.cost / mls;
-          }
-          ready_estimate = std::max(ready_estimate, via);
-        }
-        const double estimate =
-            std::max(ready_estimate, machines.finish_time(processor)) +
-            weight / topology.processor_speed(processor);
-        if (log != nullptr) {
-          candidates.push_back(obs::ProcessorCandidate{
-              static_cast<std::uint32_t>(processor.index()),
-              ready_estimate, estimate});
-        }
-        if (estimate < chosen_estimate) {
-          chosen_estimate = estimate;
-          chosen = processor;
-        }
-      }
-    }
-    if (log != nullptr) {
-      log->record(obs::TaskDecision{
-          name(), static_cast<std::uint32_t>(task.index()),
-          static_cast<std::uint32_t>(chosen.index()), chosen_estimate,
-          std::move(candidates)});
-    }
-
-    // Edge priority (§4.2).
-    std::vector<dag::EdgeId> in = graph.in_edges(task);
-    if (options_.edge_priority_by_cost) {
-      std::stable_sort(in.begin(), in.end(),
-                       [&](dag::EdgeId a, dag::EdgeId b) {
-                         return graph.cost(a) > graph.cost(b);
-                       });
-    }
-
-    double data_ready = ready_moment;
-    for (dag::EdgeId e : in) {
-      const dag::Edge& edge = graph.edge(e);
-      const TaskPlacement& src = out.task(edge.src);
-      EdgeCommunication comm;
-      comm.arrival = src.finish;
-      double ship_time = src.finish;
-      if (src.processor == chosen || edge.cost <= 0.0) {
-        comm.kind = EdgeCommunication::Kind::kLocal;
-      } else {
-        obs::Span route_span("bbsa/route_edge", "sched", e.value());
-        ship_time =
-            options_.eager_communication ? src.finish : ready_moment;
-        net::Route route;
-        if (options_.modified_routing) {
-          // Relaxation key: earliest finish of the full volume using the
-          // link's remaining bandwidth (the bandwidth analogue of §4.3).
-          const auto probe = [&](net::LinkId link,
-                                 const net::ProbeState& state) {
-            return net::ProbeResult{
-                network.probe_first_flow(link, state.earliest_start),
-                network.probe_finish(link, state.earliest_start,
-                                     state.min_finish, edge.cost)};
-          };
-          route = net::dijkstra_route_probe(topology, src.processor,
-                                            chosen, ship_time, probe,
-                                            &dijkstra_ws);
-        } else {
-          route = bfs_routes.route(src.processor, chosen);
-        }
-        BandwidthNetworkState::Transfer transfer =
-            network.commit_edge(route, ship_time, edge.cost);
-        comm.kind = EdgeCommunication::Kind::kBandwidth;
-        comm.route = std::move(route);
-        comm.profiles = std::move(transfer.profiles);
-        comm.arrival = transfer.arrival;
-        ++edges_routed;
-      }
-      if (log != nullptr) {
-        obs::EdgeDecision decision;
-        decision.algorithm = name();
-        decision.edge = static_cast<std::uint32_t>(e.index());
-        decision.src_task = static_cast<std::uint32_t>(edge.src.index());
-        decision.dst_task = static_cast<std::uint32_t>(edge.dst.index());
-        decision.local = comm.kind == EdgeCommunication::Kind::kLocal;
-        decision.ship_time = ship_time;
-        decision.arrival = comm.arrival;
-        for (std::size_t i = 0; i < comm.profiles.size(); ++i) {
-          decision.hops.push_back(obs::EdgeHop{
-              static_cast<std::uint32_t>(comm.route[i].index()),
-              comm.profiles[i].start_time(),
-              comm.profiles[i].finish_time()});
-        }
-        log->record(std::move(decision));
-      }
-      data_ready = std::max(data_ready, comm.arrival);
-      out.set_communication(e, std::move(comm));
-    }
-
-    const double duration = weight / topology.processor_speed(chosen);
-    const double start =
-        machines.start_for(chosen, data_ready, duration,
-                           options_.task_insertion);
-    machines.commit(chosen, task, start, duration);
-    out.place_task(task, TaskPlacement{chosen, start, start + duration});
-  }
-
-  obs::HotCounters& counters = obs::hot_counters();
-  counters.tasks_placed.increment(order.size());
-  if (edges_routed > 0) {
-    counters.edges_routed.increment(edges_routed);
-  }
-  return out;
+std::uint64_t Bbsa::fingerprint() const {
+  return spec(options_).fingerprint();
 }
 
 }  // namespace edgesched::sched

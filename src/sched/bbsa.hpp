@@ -8,6 +8,7 @@
 // neither the remaining link capacity nor the rate at which data arrives.
 #pragma once
 
+#include "sched/algorithm_spec.hpp"
 #include "sched/priorities.hpp"
 #include "sched/scheduler.hpp"
 
@@ -42,10 +43,15 @@ class Bbsa final : public Scheduler {
   Bbsa() = default;
   explicit Bbsa(const Options& options) : options_(options) {}
 
+  /// The engine bundle these options denote (BBSA is a preset of the
+  /// policy-based list-scheduling engine; see sched/engine.hpp).
+  [[nodiscard]] static AlgorithmSpec spec(const Options& options);
+
   [[nodiscard]] Schedule schedule(
       const dag::TaskGraph& graph,
       const net::Topology& topology) const override;
   [[nodiscard]] std::string name() const override { return "BBSA"; }
+  [[nodiscard]] std::uint64_t fingerprint() const override;
 
  private:
   Options options_;

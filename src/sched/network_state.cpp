@@ -305,6 +305,7 @@ BandwidthNetworkState::Transfer BandwidthNetworkState::commit_edge(
     const net::Route& route, double ready, double cost) {
   EDGESCHED_ASSERT_MSG(!route.empty(), "cannot commit an edge on an empty "
                                        "route");
+  ++generation_;
   Transfer transfer;
   transfer.profiles.reserve(route.size());
   for (std::size_t i = 0; i < route.size(); ++i) {

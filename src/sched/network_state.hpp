@@ -17,6 +17,7 @@
 #include "net/topology.hpp"
 #include "sched/schedule.hpp"
 #include "timeline/bandwidth_timeline.hpp"
+#include "timeline/insertion.hpp"
 #include "timeline/link_timeline.hpp"
 #include "timeline/optimal_insertion.hpp"
 #include "timeline/processor_timeline.hpp"
@@ -98,6 +99,15 @@ class ExclusiveNetworkState {
   double commit_edge_optimal(dag::EdgeId edge, const net::Route& route,
                              double ready, double cost);
 
+  /// Insertion-policy facade: dispatches to the basic or optimal commit.
+  double commit_edge(dag::EdgeId edge, const net::Route& route,
+                     double ready, double cost,
+                     timeline::InsertionKind insertion) {
+    return insertion == timeline::InsertionKind::kOptimal
+               ? commit_edge_optimal(edge, route, ready, cost)
+               : commit_edge_basic(edge, route, ready, cost);
+  }
+
   /// Record of a committed edge; unscheduled edges return an empty record.
   [[nodiscard]] const EdgeRecord& record(dag::EdgeId edge) const {
     EDGESCHED_ASSERT(edge.index() < records_.size());
@@ -162,6 +172,15 @@ class BandwidthNetworkState {
     return domains_[topology_->domain(link).index()];
   }
 
+  /// Monotone load generation, the bandwidth counterpart of
+  /// `ExclusiveNetworkState::generation()`: bumped by every fluid commit
+  /// (the only mutation this state has). Equal generations imply
+  /// bit-identical bandwidth timelines, so probe-driven route memos keyed
+  /// on it are a pure fast path for BBSA-style bundles too.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
   /// Routing probe: earliest finish of `cost` volume on this link using
   /// all remaining bandwidth from `t_es_in` (§5, applied to §4.3 routing).
   [[nodiscard]] double probe_finish(net::LinkId link, double t_es_in,
@@ -182,6 +201,7 @@ class BandwidthNetworkState {
   const net::Topology* topology_;
   std::vector<timeline::BandwidthTimeline> domains_;  ///< by DomainId
   double hop_delay_ = 0.0;
+  std::uint64_t generation_ = 0;  ///< see generation()
 };
 
 /// Processor timelines, one per topology node (switch entries stay empty).

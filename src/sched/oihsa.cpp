@@ -1,204 +1,39 @@
 #include "sched/oihsa.hpp"
 
-#include <algorithm>
-#include <limits>
-
-#include "net/routing.hpp"
-#include "obs/counters.hpp"
-#include "obs/decision_log.hpp"
-#include "obs/trace.hpp"
-#include "sched/network_state.hpp"
+#include "sched/engine.hpp"
 
 namespace edgesched::sched {
+
+AlgorithmSpec Oihsa::spec(const Options& options) {
+  AlgorithmSpec spec;
+  spec.name = "OIHSA";
+  spec.priority = options.priority;
+  spec.selection = SelectionPolicyKind::kMlsEstimate;
+  spec.insertion_aware_estimate = options.insertion_aware_estimate;
+  spec.edge_order = options.edge_priority_by_cost
+                        ? EdgeOrderPolicyKind::kByCostDescending
+                        : EdgeOrderPolicyKind::kPredecessorOrder;
+  spec.routing = options.modified_routing ? RoutingPolicyKind::kProbeDijkstra
+                                          : RoutingPolicyKind::kBfsMinimal;
+  spec.insertion = options.optimal_insertion ? InsertionPolicyKind::kOptimal
+                                             : InsertionPolicyKind::kFirstFit;
+  spec.eager_communication = options.eager_communication;
+  spec.task_insertion = options.task_insertion;
+  spec.hop_delay = options.hop_delay;
+  // OIHSA always records communications from the final link records, even
+  // with first-fit insertion (where the refresh is a byte-identical no-op).
+  spec.refresh_edge_records = true;
+  return spec;
+}
 
 Schedule Oihsa::schedule(const dag::TaskGraph& graph,
                          const net::Topology& topology) const {
   check_inputs(graph, topology);
-  obs::Span run_span("oihsa/schedule", "sched", graph.num_tasks());
-  obs::DecisionLog* const log = obs::active_decision_log();
-  Schedule out(name(), graph.num_tasks(), graph.num_edges());
+  return ListSchedulingEngine(spec(options_)).run(graph, topology);
+}
 
-  const std::vector<dag::TaskId> order =
-      list_order(graph, options_.priority);
-  ExclusiveNetworkState network(topology, graph.num_edges(),
-                                options_.hop_delay);
-  MachineState machines(topology);
-  net::RouteCache bfs_routes(topology);
-  // Per-run routing scratch: one epoch-stamped Dijkstra workspace reused
-  // across every routed edge, and a probe-route memo that short-circuits
-  // identical queries while the network load generation is unchanged.
-  net::RoutingWorkspace dijkstra_ws;
-  net::ProbedRouteCache route_memo;
-  const double mls = topology.mean_link_speed();
-  std::uint64_t edges_routed = 0;
-
-  for (dag::TaskId task : order) {
-    const double weight = graph.weight(task);
-
-    // Dynamic model (§4.1): communications leave when the task is ready.
-    double ready_moment = 0.0;
-    for (dag::EdgeId e : graph.in_edges(task)) {
-      ready_moment =
-          std::max(ready_moment, out.task(graph.edge(e).src).finish);
-    }
-
-    // Processor choice (§4.1): minimise the static-style finish estimate
-    //   max(max_j(t_f(n_j) + c(e_ji)/MLS), t_f(P)) + w(n_i)/s(P),
-    // where same-processor communication is free.
-    net::NodeId chosen;
-    double chosen_estimate = std::numeric_limits<double>::infinity();
-    std::vector<obs::ProcessorCandidate> candidates;
-    {
-      obs::Span select_span("oihsa/select_processor", "sched",
-                            task.value());
-      for (net::NodeId processor : topology.processors()) {
-        double ready_estimate = 0.0;
-        for (dag::EdgeId e : graph.in_edges(task)) {
-          const dag::Edge& edge = graph.edge(e);
-          const TaskPlacement& src = out.task(edge.src);
-          double via = src.finish;
-          if (src.processor != processor && mls > 0.0) {
-            via += edge.cost / mls;
-          }
-          ready_estimate = std::max(ready_estimate, via);
-        }
-        const double duration_on_p =
-            weight / topology.processor_speed(processor);
-        const double availability =
-            options_.insertion_aware_estimate
-                ? machines.start_for(processor, ready_estimate,
-                                     duration_on_p,
-                                     options_.task_insertion)
-                : std::max(ready_estimate,
-                           machines.finish_time(processor));
-        const double estimate = availability + duration_on_p;
-        if (log != nullptr) {
-          candidates.push_back(obs::ProcessorCandidate{
-              static_cast<std::uint32_t>(processor.index()),
-              ready_estimate, estimate});
-        }
-        if (estimate < chosen_estimate) {
-          chosen_estimate = estimate;
-          chosen = processor;
-        }
-      }
-    }
-    if (log != nullptr) {
-      log->record(obs::TaskDecision{
-          name(), static_cast<std::uint32_t>(task.index()),
-          static_cast<std::uint32_t>(chosen.index()), chosen_estimate,
-          std::move(candidates)});
-    }
-
-    // Edge priority (§4.2): the costliest incoming edge books first.
-    std::vector<dag::EdgeId> in = graph.in_edges(task);
-    if (options_.edge_priority_by_cost) {
-      std::stable_sort(in.begin(), in.end(),
-                       [&](dag::EdgeId a, dag::EdgeId b) {
-                         return graph.cost(a) > graph.cost(b);
-                       });
-    }
-
-    double data_ready = ready_moment;
-    for (dag::EdgeId e : in) {
-      const dag::Edge& edge = graph.edge(e);
-      const TaskPlacement& src = out.task(edge.src);
-      EdgeCommunication comm;
-      comm.arrival = src.finish;
-      double ship_time = src.finish;
-      if (src.processor == chosen || edge.cost <= 0.0) {
-        comm.kind = EdgeCommunication::Kind::kLocal;
-      } else {
-        obs::Span route_span("oihsa/route_edge", "sched", e.value());
-        ship_time =
-            options_.eager_communication ? src.finish : ready_moment;
-        // Modified routing (§4.3): relax on the tentative per-link finish
-        // time given the current timelines.
-        net::Route route;
-        if (options_.modified_routing) {
-          const std::uint64_t generation = network.generation();
-          if (const net::Route* memo = route_memo.lookup(
-                  src.processor, chosen, ship_time, edge.cost,
-                  generation)) {
-            route = *memo;
-          } else {
-            const auto probe = [&](net::LinkId link,
-                                   const net::ProbeState& state) {
-              const timeline::Placement placement = network.probe_link(
-                  link, state.earliest_start, state.min_finish, edge.cost);
-              return net::ProbeResult{placement.start, placement.finish};
-            };
-            route = net::dijkstra_route_probe(topology, src.processor,
-                                              chosen, ship_time, probe,
-                                              &dijkstra_ws);
-            route_memo.store(src.processor, chosen, ship_time, edge.cost,
-                             generation, route);
-          }
-        } else {
-          route = bfs_routes.route(src.processor, chosen);
-        }
-        comm.arrival =
-            options_.optimal_insertion
-                ? network.commit_edge_optimal(e, route, ship_time,
-                                              edge.cost)
-                : network.commit_edge_basic(e, route, ship_time,
-                                            edge.cost);
-        comm.kind = EdgeCommunication::Kind::kExclusive;
-        comm.route = std::move(route);
-        ++edges_routed;
-      }
-      if (log != nullptr) {
-        obs::EdgeDecision decision;
-        decision.algorithm = name();
-        decision.edge = static_cast<std::uint32_t>(e.index());
-        decision.src_task = static_cast<std::uint32_t>(edge.src.index());
-        decision.dst_task = static_cast<std::uint32_t>(edge.dst.index());
-        decision.local = comm.kind == EdgeCommunication::Kind::kLocal;
-        decision.ship_time = ship_time;
-        decision.arrival = comm.arrival;
-        if (!decision.local) {
-          const EdgeRecord& record = network.record(e);
-          decision.hops.reserve(record.occupations.size());
-          for (const LinkOccupation& occ : record.occupations) {
-            decision.hops.push_back(obs::EdgeHop{
-                static_cast<std::uint32_t>(occ.link.index()), occ.start,
-                occ.finish});
-          }
-        }
-        log->record(std::move(decision));
-      }
-      data_ready = std::max(data_ready, comm.arrival);
-      out.set_communication(e, std::move(comm));
-    }
-
-    const double duration = weight / topology.processor_speed(chosen);
-    const double start =
-        machines.start_for(chosen, data_ready, duration,
-                           options_.task_insertion);
-    machines.commit(chosen, task, start, duration);
-    out.place_task(task, TaskPlacement{chosen, start, start + duration});
-  }
-
-  // Deferral may have moved earlier edges' occupations after their
-  // communications were recorded; refresh from the final records.
-  for (dag::EdgeId e : graph.all_edges()) {
-    const EdgeRecord& record = network.record(e);
-    if (record.scheduled()) {
-      EdgeCommunication comm;
-      comm.kind = EdgeCommunication::Kind::kExclusive;
-      comm.route = record.route;
-      comm.occupations = record.occupations;
-      comm.arrival = record.occupations.back().finish;
-      out.set_communication(e, std::move(comm));
-    }
-  }
-
-  obs::HotCounters& counters = obs::hot_counters();
-  counters.tasks_placed.increment(order.size());
-  if (edges_routed > 0) {
-    counters.edges_routed.increment(edges_routed);
-  }
-  return out;
+std::uint64_t Oihsa::fingerprint() const {
+  return spec(options_).fingerprint();
 }
 
 }  // namespace edgesched::sched

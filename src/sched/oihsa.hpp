@@ -11,6 +11,7 @@
 // The options expose each ingredient for the ablation benches.
 #pragma once
 
+#include "sched/algorithm_spec.hpp"
 #include "sched/priorities.hpp"
 #include "sched/scheduler.hpp"
 
@@ -53,10 +54,15 @@ class Oihsa final : public Scheduler {
   Oihsa() = default;
   explicit Oihsa(const Options& options) : options_(options) {}
 
+  /// The engine bundle these options denote (OIHSA is a preset of the
+  /// policy-based list-scheduling engine; see sched/engine.hpp).
+  [[nodiscard]] static AlgorithmSpec spec(const Options& options);
+
   [[nodiscard]] Schedule schedule(
       const dag::TaskGraph& graph,
       const net::Topology& topology) const override;
   [[nodiscard]] std::string name() const override { return "OIHSA"; }
+  [[nodiscard]] std::uint64_t fingerprint() const override;
 
  private:
   Options options_;

@@ -1,91 +1,33 @@
 #include "sched/packetized.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
-#include "net/routing.hpp"
-#include "sched/network_state.hpp"
+#include "sched/engine.hpp"
 
 namespace edgesched::sched {
+
+AlgorithmSpec PacketizedBa::spec(const Options& options) {
+  AlgorithmSpec spec;
+  spec.name = "PACKET-BA";
+  spec.priority = options.priority;
+  // Communication-blind EFT selection, as in the baseline BA.
+  spec.selection = SelectionPolicyKind::kBlindEft;
+  spec.edge_order = EdgeOrderPolicyKind::kPredecessorOrder;
+  spec.routing = RoutingPolicyKind::kBfsMinimal;
+  spec.insertion = InsertionPolicyKind::kPacketized;
+  spec.packet_size = options.packet_size;
+  spec.eager_communication = options.eager_communication;
+  spec.task_insertion = options.task_insertion;
+  spec.hop_delay = options.hop_delay;
+  return spec;
+}
 
 Schedule PacketizedBa::schedule(const dag::TaskGraph& graph,
                                 const net::Topology& topology) const {
   check_inputs(graph, topology);
-  Schedule out(name(), graph.num_tasks(), graph.num_edges());
+  return ListSchedulingEngine(spec(options_)).run(graph, topology);
+}
 
-  const std::vector<dag::TaskId> order =
-      list_order(graph, options_.priority);
-  ExclusiveNetworkState network(topology, graph.num_edges(),
-                                options_.hop_delay);
-  MachineState machines(topology);
-  net::RouteCache routes(topology);
-
-  for (dag::TaskId task : order) {
-    const double weight = graph.weight(task);
-
-    double ready_moment = 0.0;
-    for (dag::EdgeId e : graph.in_edges(task)) {
-      ready_moment =
-          std::max(ready_moment, out.task(graph.edge(e).src).finish);
-    }
-
-    // Communication-blind EFT selection, as in the baseline BA.
-    net::NodeId best_processor;
-    double best_finish = std::numeric_limits<double>::infinity();
-    for (net::NodeId processor : topology.processors()) {
-      const double duration =
-          weight / topology.processor_speed(processor);
-      const double start = machines.start_for(
-          processor, ready_moment, duration, options_.task_insertion);
-      if (start + duration < best_finish) {
-        best_finish = start + duration;
-        best_processor = processor;
-      }
-    }
-
-    double data_ready = ready_moment;
-    for (dag::EdgeId e : graph.in_edges(task)) {
-      const dag::Edge& edge = graph.edge(e);
-      const TaskPlacement& src = out.task(edge.src);
-      EdgeCommunication comm;
-      comm.arrival = src.finish;
-      if (src.processor == best_processor || edge.cost <= 0.0) {
-        comm.kind = EdgeCommunication::Kind::kLocal;
-      } else {
-        const double ship_time =
-            options_.eager_communication ? src.finish : ready_moment;
-        const net::Route& route =
-            routes.route(src.processor, best_processor);
-        const std::size_t packets = static_cast<std::size_t>(
-            std::max(1.0, std::ceil(edge.cost / options_.packet_size)));
-        const double volume =
-            edge.cost / static_cast<double>(packets);
-        double arrival = ship_time;
-        for (std::size_t p = 0; p < packets; ++p) {
-          arrival = std::max(
-              arrival,
-              network.commit_packet(e, route, ship_time, volume));
-        }
-        comm.kind = EdgeCommunication::Kind::kPacketized;
-        comm.route = route;
-        comm.occupations = network.record(e).occupations;
-        comm.packet_count = packets;
-        comm.arrival = arrival;
-      }
-      data_ready = std::max(data_ready, comm.arrival);
-      out.set_communication(e, std::move(comm));
-    }
-
-    const double duration =
-        weight / topology.processor_speed(best_processor);
-    const double start = machines.start_for(
-        best_processor, data_ready, duration, options_.task_insertion);
-    machines.commit(best_processor, task, start, duration);
-    out.place_task(task,
-                   TaskPlacement{best_processor, start, start + duration});
-  }
-  return out;
+std::uint64_t PacketizedBa::fingerprint() const {
+  return spec(options_).fingerprint();
 }
 
 }  // namespace edgesched::sched

@@ -10,6 +10,7 @@
 // trade-off, measured by bench/ablation_packet.
 #pragma once
 
+#include "sched/algorithm_spec.hpp"
 #include "sched/priorities.hpp"
 #include "sched/scheduler.hpp"
 
@@ -38,10 +39,15 @@ class PacketizedBa final : public Scheduler {
              "PacketizedBa: packet_size must be positive");
   }
 
+  /// The engine bundle these options denote (PACKET-BA is a preset of
+  /// the policy-based list-scheduling engine; see sched/engine.hpp).
+  [[nodiscard]] static AlgorithmSpec spec(const Options& options);
+
   [[nodiscard]] Schedule schedule(
       const dag::TaskGraph& graph,
       const net::Topology& topology) const override;
   [[nodiscard]] std::string name() const override { return "PACKET-BA"; }
+  [[nodiscard]] std::uint64_t fingerprint() const override;
 
  private:
   Options options_;

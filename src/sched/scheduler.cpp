@@ -1,9 +1,7 @@
 #include "sched/scheduler.hpp"
 
-#include "sched/ba.hpp"
-#include "sched/bbsa.hpp"
-#include "sched/classic.hpp"
-#include "sched/oihsa.hpp"
+#include "sched/registry.hpp"
+#include "util/hash.hpp"
 
 namespace edgesched::sched {
 
@@ -16,11 +14,21 @@ void Scheduler::check_inputs(const dag::TaskGraph& graph,
            "Scheduler: processors are not mutually reachable");
 }
 
+std::uint64_t Scheduler::fingerprint() const {
+  Fingerprint fp;
+  fp.mix(std::string_view("edgesched.Scheduler.name"));
+  const std::string display = name();
+  fp.mix(std::string_view(display));
+  return fp.value();
+}
+
 std::vector<std::unique_ptr<Scheduler>> all_schedulers() {
+  // The paper's three contention-aware algorithms, in evaluation order,
+  // instantiated through the central registry.
   std::vector<std::unique_ptr<Scheduler>> result;
-  result.push_back(std::make_unique<BasicAlgorithm>());
-  result.push_back(std::make_unique<Oihsa>());
-  result.push_back(std::make_unique<Bbsa>());
+  result.push_back(make_scheduler("ba"));
+  result.push_back(make_scheduler("oihsa"));
+  result.push_back(make_scheduler("bbsa"));
   return result;
 }
 

@@ -1,6 +1,7 @@
 // Abstract scheduler interface: map a task DAG onto a network topology.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,14 @@ class Scheduler {
 
   /// Short display name ("BA", "OIHSA", "BBSA", ...).
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Structural identity of this scheduler's *configuration*, used by the
+  /// service layer to key its schedule cache. Two schedulers with equal
+  /// fingerprints must produce identical schedules on every instance.
+  /// Defaults to a hash of `name()`; engine-backed schedulers override
+  /// with their `AlgorithmSpec` fingerprint so two instances of the same
+  /// class with different options key apart.
+  [[nodiscard]] virtual std::uint64_t fingerprint() const;
 
  protected:
   /// Common argument validation for all schedulers.

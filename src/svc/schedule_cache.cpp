@@ -15,6 +15,16 @@ std::uint64_t request_fingerprint(const dag::TaskGraph& graph,
   return fp.value();
 }
 
+std::uint64_t request_fingerprint(const dag::TaskGraph& graph,
+                                  const net::Topology& topology,
+                                  std::uint64_t algorithm_fingerprint) {
+  Fingerprint fp;
+  fp.mix(graph.fingerprint());
+  fp.mix(topology.fingerprint());
+  fp.mix(algorithm_fingerprint);
+  return fp.value();
+}
+
 ScheduleCache::ScheduleCache(std::size_t capacity) : capacity_(capacity) {
   throw_if(capacity == 0, "ScheduleCache: capacity must be >= 1");
 }

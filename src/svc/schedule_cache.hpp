@@ -36,6 +36,14 @@ namespace edgesched::svc {
     const dag::TaskGraph& graph, const net::Topology& topology,
     std::string_view algorithm);
 
+/// Structural variant: keys on `sched::Scheduler::fingerprint()` instead
+/// of a display name, so two algorithm bundles sharing a name but
+/// differing in any policy (or options) cache independently. This is the
+/// key the scheduler service uses.
+[[nodiscard]] std::uint64_t request_fingerprint(
+    const dag::TaskGraph& graph, const net::Topology& topology,
+    std::uint64_t algorithm_fingerprint);
+
 /// Monotonic cache counters (snapshot; see ScheduleCache::stats()).
 struct CacheStats {
   std::uint64_t hits = 0;

@@ -1,15 +1,10 @@
 #include "svc/scheduler_service.hpp"
 
-#include <algorithm>
-#include <cctype>
 #include <chrono>
 #include <utility>
 
-#include "sched/ba.hpp"
-#include "sched/bbsa.hpp"
-#include "sched/classic.hpp"
-#include "sched/oihsa.hpp"
-#include "sched/packetized.hpp"
+#include "sched/engine.hpp"
+#include "sched/registry.hpp"
 #include "sched/validator.hpp"
 #include "util/error.hpp"
 
@@ -29,41 +24,41 @@ SchedulerService::~SchedulerService() { shutdown(); }
 
 std::unique_ptr<sched::Scheduler> SchedulerService::make_scheduler(
     std::string_view name) {
-  std::string lower(name);
-  std::transform(lower.begin(), lower.end(), lower.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  if (lower == "ba") {
-    return std::make_unique<sched::BasicAlgorithm>();
-  }
-  if (lower == "oihsa") {
-    return std::make_unique<sched::Oihsa>();
-  }
-  if (lower == "bbsa") {
-    return std::make_unique<sched::Bbsa>();
-  }
-  if (lower == "classic") {
-    return std::make_unique<sched::ClassicScheduler>();
-  }
-  if (lower == "packet" || lower == "packet-ba") {
-    return std::make_unique<sched::PacketizedBa>();
-  }
-  throw std::invalid_argument("SchedulerService: unknown algorithm \"" +
-                              std::string(name) + '"');
+  return sched::make_scheduler(name);
 }
 
 std::future<SchedulerService::SchedulePtr> SchedulerService::submit(
     std::shared_ptr<const dag::TaskGraph> graph,
     std::shared_ptr<const net::Topology> topology,
     const std::string& algorithm) {
+  // Resolve the algorithm up front: unknown names should fail loudly at
+  // the call site, not asynchronously.
+  return submit_scheduler(std::move(graph), std::move(topology),
+                          make_scheduler(algorithm));
+}
+
+std::future<SchedulerService::SchedulePtr> SchedulerService::submit(
+    std::shared_ptr<const dag::TaskGraph> graph,
+    std::shared_ptr<const net::Topology> topology,
+    const sched::AlgorithmSpec& spec) {
+  // SpecScheduler's constructor validates the bundle, so an inconsistent
+  // spec throws here rather than through the future.
+  return submit_scheduler(std::move(graph), std::move(topology),
+                          std::make_unique<sched::SpecScheduler>(spec));
+}
+
+std::future<SchedulerService::SchedulePtr> SchedulerService::submit_scheduler(
+    std::shared_ptr<const dag::TaskGraph> graph,
+    std::shared_ptr<const net::Topology> topology,
+    std::unique_ptr<sched::Scheduler> scheduler) {
   throw_if(graph == nullptr, "SchedulerService::submit: null graph");
   throw_if(topology == nullptr, "SchedulerService::submit: null topology");
   requests_.increment();
-  // Resolve the algorithm up front: unknown names should fail loudly at
-  // the call site, not asynchronously.
-  std::unique_ptr<sched::Scheduler> scheduler = make_scheduler(algorithm);
 
+  // Key on the scheduler's structural fingerprint, not its display name:
+  // two bundles named alike but differing in any policy cache apart.
   const std::uint64_t key =
-      request_fingerprint(*graph, *topology, scheduler->name());
+      request_fingerprint(*graph, *topology, scheduler->fingerprint());
   if (SchedulePtr cached = cache_.get(key)) {
     cache_hits_.increment();
     std::promise<SchedulePtr> ready;

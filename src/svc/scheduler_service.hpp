@@ -38,6 +38,7 @@
 
 #include "dag/task_graph.hpp"
 #include "net/topology.hpp"
+#include "sched/algorithm_spec.hpp"
 #include "sched/scheduler.hpp"
 #include "svc/metrics.hpp"
 #include "svc/schedule_cache.hpp"
@@ -75,6 +76,16 @@ class SchedulerService {
       std::shared_ptr<const net::Topology> topology,
       const std::string& algorithm);
 
+  /// Enqueues one scheduling request for an explicit engine bundle —
+  /// preset or novel. The cache key is the spec's structural
+  /// fingerprint, so two bundles sharing a display name but differing in
+  /// any policy cache independently. Throws std::invalid_argument for an
+  /// inconsistent spec (AlgorithmSpec::validate).
+  [[nodiscard]] std::future<SchedulePtr> submit(
+      std::shared_ptr<const dag::TaskGraph> graph,
+      std::shared_ptr<const net::Topology> topology,
+      const sched::AlgorithmSpec& spec);
+
   /// Convenience wrapper: submit and wait. Copies the inputs into shared
   /// ownership; prefer `submit` with shared_ptr when issuing batches.
   [[nodiscard]] SchedulePtr schedule_now(const dag::TaskGraph& graph,
@@ -92,13 +103,21 @@ class SchedulerService {
   /// Stops accepting requests and drains workers (idempotent).
   void shutdown() { pool_.shutdown(); }
 
-  /// Algorithm factory. Accepted names (case-insensitive): "ba", "oihsa",
-  /// "bbsa", "classic", "packet" / "packet-ba". Throws
-  /// std::invalid_argument for anything else.
+  /// Algorithm factory, resolved through the central
+  /// `sched::algorithm_registry()` (case-insensitive keys and aliases;
+  /// see sched/registry.hpp). Throws std::invalid_argument for unknown
+  /// names.
   [[nodiscard]] static std::unique_ptr<sched::Scheduler> make_scheduler(
       std::string_view name);
 
  private:
+  /// Common path: cache by the scheduler's structural fingerprint, or
+  /// compute on the pool.
+  [[nodiscard]] std::future<SchedulePtr> submit_scheduler(
+      std::shared_ptr<const dag::TaskGraph> graph,
+      std::shared_ptr<const net::Topology> topology,
+      std::unique_ptr<sched::Scheduler> scheduler);
+
   ServiceConfig config_;
   MetricsRegistry metrics_;
   ScheduleCache cache_;

@@ -1,0 +1,21 @@
+// Insertion-policy facade over the exclusive-link probe/commit pair.
+//
+// The timeline layer offers two ways to place an edge occupation on a
+// link: first-fit (`LinkTimeline::probe_basic`, §3) and optimal insertion
+// with deferral of booked slots (`probe_optimal_into`, §4.4). The
+// scheduling engine selects between them per algorithm bundle; this enum
+// is the seam it selects through, so callers above the timeline layer
+// never name the individual probe functions. The bandwidth model has a
+// single fluid commit and therefore no insertion choice — it is a
+// different `NetworkStateModel`, not a third insertion kind.
+#pragma once
+
+namespace edgesched::timeline {
+
+/// How an edge occupation is placed into an exclusive link timeline.
+enum class InsertionKind {
+  kFirstFit,  ///< earliest gap at or after t_es, never displacing (§3)
+  kOptimal,   ///< may defer booked slots within their slack (§4.4)
+};
+
+}  // namespace edgesched::timeline

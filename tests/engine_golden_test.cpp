@@ -1,0 +1,166 @@
+// Golden equivalence: the four paper algorithms, however they are
+// implemented, must emit byte-identical schedules on a pinned fig1/fig3
+// workload slice. The goldens under tests/golden/ were captured from the
+// pre-engine (hand-rolled loop) implementations; the policy-bundle
+// engine is required to reproduce them bit for bit.
+//
+// Regenerate (only when the *model semantics* deliberately change):
+//   EDGESCHED_UPDATE_GOLDENS=1 ./build/tests/engine_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "schedule_canon.hpp"
+#include "sched/ba.hpp"
+#include "sched/bbsa.hpp"
+#include "sched/oihsa.hpp"
+#include "sched/packetized.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/validator.hpp"
+#include "sim/workload.hpp"
+
+namespace edgesched {
+namespace {
+
+#ifndef EDGESCHED_GOLDEN_DIR
+#error "EDGESCHED_GOLDEN_DIR must point at tests/golden"
+#endif
+
+/// The pinned workload slice: small instances drawn exactly like the
+/// fig1 (homogeneous) and fig3 (heterogeneous) sweeps, with the axis
+/// values fixed in code so the goldens do not depend on environment
+/// variables.
+struct PinnedInstance {
+  std::string label;
+  sim::Instance instance;
+};
+
+std::vector<PinnedInstance> pinned_instances() {
+  std::vector<PinnedInstance> result;
+  const auto slice = [&result](bool heterogeneous, const char* fig,
+                               std::initializer_list<
+                                   std::pair<std::size_t, double>> axis) {
+    sim::ExperimentConfig config;
+    config.heterogeneous = heterogeneous;
+    config.tasks_min = 30;
+    config.tasks_max = 60;
+    config.seed = 20060815;
+    Rng root(config.seed);
+    for (const auto& [procs, ccr] : axis) {
+      Rng rng = root.fork();
+      std::ostringstream label;
+      label << fig << "_p" << procs << "_ccr" << ccr;
+      result.push_back(PinnedInstance{
+          label.str(), sim::make_instance(config, procs, ccr, rng)});
+    }
+  };
+  slice(false, "fig1", {{8, 0.5}, {16, 2.0}, {8, 10.0}});
+  slice(true, "fig3", {{8, 2.0}, {16, 5.0}});
+  return result;
+}
+
+/// Algorithm variants under golden protection: the four registry bundles
+/// plus the option paths the ablation benches exercise (tentative BA
+/// selection, first-fit OIHSA, BFS routing, eager shipping, append
+/// placement) so every policy seam is pinned.
+struct Variant {
+  std::string label;
+  std::unique_ptr<sched::Scheduler> scheduler;
+};
+
+std::vector<Variant> variants() {
+  using sched::BaProcessorSelection;
+  std::vector<Variant> v;
+  v.push_back({"ba", std::make_unique<sched::BasicAlgorithm>()});
+  {
+    sched::BasicAlgorithm::Options tentative;
+    tentative.selection = BaProcessorSelection::kTentativeEft;
+    v.push_back({"ba_tentative",
+                 std::make_unique<sched::BasicAlgorithm>(tentative)});
+  }
+  {
+    sched::BasicAlgorithm::Options append;
+    append.task_insertion = false;
+    append.eager_communication = true;
+    v.push_back({"ba_append_eager",
+                 std::make_unique<sched::BasicAlgorithm>(append)});
+  }
+  v.push_back({"oihsa", std::make_unique<sched::Oihsa>()});
+  {
+    sched::Oihsa::Options firstfit;
+    firstfit.optimal_insertion = false;
+    v.push_back({"oihsa_firstfit",
+                 std::make_unique<sched::Oihsa>(firstfit)});
+  }
+  {
+    sched::Oihsa::Options bfs;
+    bfs.modified_routing = false;
+    bfs.edge_priority_by_cost = false;
+    v.push_back({"oihsa_bfs_predorder",
+                 std::make_unique<sched::Oihsa>(bfs)});
+  }
+  {
+    sched::Oihsa::Options aware;
+    aware.insertion_aware_estimate = true;
+    aware.eager_communication = true;
+    v.push_back({"oihsa_aware_eager",
+                 std::make_unique<sched::Oihsa>(aware)});
+  }
+  v.push_back({"bbsa", std::make_unique<sched::Bbsa>()});
+  {
+    sched::Bbsa::Options bfs;
+    bfs.modified_routing = false;
+    v.push_back({"bbsa_bfs", std::make_unique<sched::Bbsa>(bfs)});
+  }
+  v.push_back({"packet_ba", std::make_unique<sched::PacketizedBa>()});
+  {
+    sched::PacketizedBa::Options small;
+    small.packet_size = 100.0;
+    v.push_back({"packet_ba_100",
+                 std::make_unique<sched::PacketizedBa>(small)});
+  }
+  return v;
+}
+
+std::string golden_path(const std::string& variant) {
+  return std::string(EDGESCHED_GOLDEN_DIR) + "/" + variant + ".txt";
+}
+
+TEST(EngineGolden, ByteIdenticalToPreRefactorSchedules) {
+  const bool update = std::getenv("EDGESCHED_UPDATE_GOLDENS") != nullptr;
+  const std::vector<PinnedInstance> instances = pinned_instances();
+  for (const Variant& variant : variants()) {
+    std::ostringstream actual;
+    for (const PinnedInstance& pinned : instances) {
+      const sched::Schedule schedule = variant.scheduler->schedule(
+          pinned.instance.graph, pinned.instance.topology);
+      sched::validate_or_throw(pinned.instance.graph,
+                               pinned.instance.topology, schedule);
+      actual << "# " << pinned.label << "\n"
+             << test::canonical_schedule(pinned.instance.graph, schedule);
+    }
+    const std::string path = golden_path(variant.label);
+    if (update) {
+      std::ofstream out(path);
+      ASSERT_TRUE(out) << "cannot write " << path;
+      out << actual.str();
+      continue;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden " << path
+                    << " (run with EDGESCHED_UPDATE_GOLDENS=1)";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual.str(), expected.str())
+        << variant.label
+        << ": schedule diverged from the pre-refactor golden";
+  }
+}
+
+}  // namespace
+}  // namespace edgesched
