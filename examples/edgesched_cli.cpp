@@ -1,5 +1,5 @@
 // edgesched_cli — schedule a task graph onto a network from the command
-// line.
+// line, or replay a schedule through the discrete-event executor.
 //
 // Usage:
 //   edgesched_cli --graph FILE [--graph-format text|stg]
@@ -9,14 +9,30 @@
 //                 [--algorithm NAME] [--list-algorithms]
 //                 [--ccr X] [--output schedule|metrics|gantt|trace|dot]
 //
+//   edgesched_cli run <same instance flags>
+//                 [--jitter X] [--bw-jitter X] [--exec-seed S]
+//                 [--fault-rate R] [--link-fault-rate R]
+//                 [--fault-permanent F] [--fault-seed S]
+//                 [--recovery fail-stop|retry|reschedule]
+//                 [--recovery-algorithm NAME]
+//                 [--dispatch timetable|event-driven]
+//                 [--report-json FILE]
+//
+// The `run` subcommand schedules the instance, then executes the plan in
+// virtual time under duration jitter (U(1±jitter)) and hazard-sampled
+// faults (R failures per resource per unit time over a horizon of four
+// predicted makespans), printing the achieved-vs-predicted summary.
+// `--report-json` writes the full ExecutionReport document ("-" =
+// stdout).
+//
 // Algorithm names come from the central registry (sched/registry.hpp);
 // `--list-algorithms` prints every key with its policy bundle.
 //
 // Examples:
 //   edgesched_cli --graph wf.txt --wan 16 --algorithm oihsa
 //                 --output metrics
-//   edgesched_cli --graph wf.stg --graph-format stg --star 8
-//                 --output trace > trace.json   # open in chrome://tracing
+//   edgesched_cli run --graph wf.txt --wan 16 --algorithm oihsa
+//                 --jitter 0.2 --fault-rate 0.001 --recovery reschedule
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -24,6 +40,7 @@
 
 #include "dag/properties.hpp"
 #include "dag/serialization.hpp"
+#include "exec/executor.hpp"
 #include "net/builders.hpp"
 #include "net/serialization.hpp"
 #include "sched/metrics.hpp"
@@ -36,6 +53,7 @@ namespace {
 using namespace edgesched;
 
 struct Args {
+  bool run = false;  ///< `run` subcommand: execute the schedule
   std::string graph_file;
   std::string graph_format = "text";
   std::string topology_file;
@@ -46,6 +64,19 @@ struct Args {
   std::string algorithm = "oihsa";
   double ccr = 0.0;  // 0 = keep the file's costs
   std::string output = "schedule";
+
+  // `run` subcommand options.
+  double jitter = 0.0;
+  double bw_jitter = 0.0;
+  std::uint64_t exec_seed = 1;
+  double fault_rate = 0.0;       ///< processor failures / unit time
+  double link_fault_rate = 0.0;  ///< link failures / unit time
+  double fault_permanent = 0.3;  ///< fraction of sampled faults
+  std::uint64_t fault_seed = 1;
+  std::string recovery = "reschedule";
+  std::string recovery_algorithm;
+  std::string dispatch = "timetable";
+  std::string report_json;  ///< "" = none, "-" = stdout
 };
 
 [[noreturn]] void usage(const std::string& error = {}) {
@@ -59,6 +90,14 @@ struct Args {
          "         [--algorithm NAME] [--list-algorithms]\n"
          "         [--ccr X]\n"
          "         [--output schedule|metrics|gantt|trace|dot]\n"
+         "   or: edgesched_cli run <instance flags>\n"
+         "         [--jitter X] [--bw-jitter X] [--exec-seed S]\n"
+         "         [--fault-rate R] [--link-fault-rate R]\n"
+         "         [--fault-permanent F] [--fault-seed S]\n"
+         "         [--recovery fail-stop|retry|reschedule]\n"
+         "         [--recovery-algorithm NAME]\n"
+         "         [--dispatch timetable|event-driven]\n"
+         "         [--report-json FILE]\n"
          "algorithms (see --list-algorithms for the policy bundles):\n"
          "  ";
   bool first = true;
@@ -78,7 +117,12 @@ Args parse(int argc, char** argv) {
     }
     return argv[++i];
   };
-  for (int i = 1; i < argc; ++i) {
+  int first = 1;
+  if (argc > 1 && std::string(argv[1]) == "run") {
+    args.run = true;
+    first = 2;
+  }
+  for (int i = first; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--graph") {
       args.graph_file = next(i);
@@ -104,6 +148,28 @@ Args parse(int argc, char** argv) {
       args.ccr = std::stod(next(i));
     } else if (flag == "--output") {
       args.output = next(i);
+    } else if (args.run && flag == "--jitter") {
+      args.jitter = std::stod(next(i));
+    } else if (args.run && flag == "--bw-jitter") {
+      args.bw_jitter = std::stod(next(i));
+    } else if (args.run && flag == "--exec-seed") {
+      args.exec_seed = std::stoull(next(i));
+    } else if (args.run && flag == "--fault-rate") {
+      args.fault_rate = std::stod(next(i));
+    } else if (args.run && flag == "--link-fault-rate") {
+      args.link_fault_rate = std::stod(next(i));
+    } else if (args.run && flag == "--fault-permanent") {
+      args.fault_permanent = std::stod(next(i));
+    } else if (args.run && flag == "--fault-seed") {
+      args.fault_seed = std::stoull(next(i));
+    } else if (args.run && flag == "--recovery") {
+      args.recovery = next(i);
+    } else if (args.run && flag == "--recovery-algorithm") {
+      args.recovery_algorithm = next(i);
+    } else if (args.run && flag == "--dispatch") {
+      args.dispatch = next(i);
+    } else if (args.run && flag == "--report-json") {
+      args.report_json = next(i);
     } else if (flag == "--help" || flag == "-h") {
       usage();
     } else {
@@ -168,6 +234,46 @@ std::unique_ptr<sched::Scheduler> make_scheduler(const Args& args) {
   usage("unknown algorithm " + args.algorithm);
 }
 
+int run_schedule(const Args& args, const dag::TaskGraph& graph,
+                 const net::Topology& topology,
+                 const sched::Schedule& schedule) {
+  exec::ExecutionOptions options;
+  options.model.duration_spread = args.jitter;
+  options.model.bandwidth_spread = args.bw_jitter;
+  options.model.seed = args.exec_seed;
+  options.policy = exec::parse_recovery_policy(args.recovery);
+  options.dispatch = exec::parse_dispatch_mode(args.dispatch);
+  options.recovery_algorithm = args.recovery_algorithm;
+  if (args.fault_rate > 0.0 || args.link_fault_rate > 0.0) {
+    // Hazard horizon: sample failures well past the predicted makespan
+    // so recovery epochs still see faults.
+    exec::HazardConfig hazard;
+    hazard.processor_rate = args.fault_rate;
+    hazard.link_rate = args.link_fault_rate;
+    hazard.horizon = 4.0 * schedule.makespan();
+    hazard.permanent_fraction = args.fault_permanent;
+    hazard.mean_repair = 0.05 * schedule.makespan();
+    hazard.seed = args.fault_seed;
+    options.faults = exec::FaultPlan::sampled(topology, hazard);
+  }
+  const exec::ExecutionReport report =
+      exec::execute(graph, topology, schedule, options);
+  std::cout << report.summary() << "\n";
+  if (!args.report_json.empty()) {
+    if (args.report_json == "-") {
+      std::cout << report.to_json().dump() << "\n";
+    } else {
+      std::ofstream out(args.report_json);
+      if (!out) {
+        std::cerr << "error: cannot write " << args.report_json << "\n";
+        return 1;
+      }
+      out << report.to_json().dump() << "\n";
+    }
+  }
+  return report.completed ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,6 +286,9 @@ int main(int argc, char** argv) {
         scheduler->schedule(graph, topology);
     sched::validate_or_throw(graph, topology, schedule);
 
+    if (args.run) {
+      return run_schedule(args, graph, topology, schedule);
+    }
     if (args.output == "schedule") {
       std::cout << schedule.to_string(graph, topology);
     } else if (args.output == "metrics") {

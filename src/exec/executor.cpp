@@ -1,0 +1,1264 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dag/transforms.hpp"
+#include "exec/recovery.hpp"
+#include "obs/counters.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/trace.hpp"
+#include "sched/registry.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/validator.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace edgesched::exec {
+
+std::string_view to_string(RecoveryPolicy policy) noexcept {
+  switch (policy) {
+    case RecoveryPolicy::kFailStop:
+      return "fail-stop";
+    case RecoveryPolicy::kRetry:
+      return "retry";
+    case RecoveryPolicy::kReschedule:
+      return "reschedule";
+  }
+  return "?";
+}
+
+std::string_view to_string(DispatchMode mode) noexcept {
+  return mode == DispatchMode::kTimetable ? "timetable" : "event-driven";
+}
+
+RecoveryPolicy parse_recovery_policy(std::string_view name) {
+  if (name == "fail-stop" || name == "failstop") {
+    return RecoveryPolicy::kFailStop;
+  }
+  if (name == "retry") {
+    return RecoveryPolicy::kRetry;
+  }
+  if (name == "reschedule") {
+    return RecoveryPolicy::kReschedule;
+  }
+  throw std::invalid_argument(
+      "unknown recovery policy '" + std::string(name) +
+      "' (accepted: fail-stop, retry, reschedule)");
+}
+
+DispatchMode parse_dispatch_mode(std::string_view name) {
+  if (name == "timetable") {
+    return DispatchMode::kTimetable;
+  }
+  if (name == "event-driven" || name == "eventdriven") {
+    return DispatchMode::kEventDriven;
+  }
+  throw std::invalid_argument("unknown dispatch mode '" + std::string(name) +
+                              "' (accepted: timetable, event-driven)");
+}
+
+std::uint64_t ExecutionOptions::fingerprint() const noexcept {
+  Fingerprint fp;
+  fp.mix(model.fingerprint());
+  fp.mix(faults.fingerprint());
+  fp.mix(static_cast<std::uint64_t>(policy));
+  fp.mix(static_cast<std::uint64_t>(dispatch));
+  fp.mix(std::string_view(recovery_algorithm));
+  fp.mix(static_cast<std::uint64_t>(max_retries));
+  fp.mix(retry_backoff);
+  fp.mix(static_cast<std::uint64_t>(max_reschedules));
+  fp.mix(reschedule_delay);
+  fp.mix(static_cast<std::uint64_t>(validate_recovery));
+  return fp.value();
+}
+
+namespace {
+
+constexpr std::uint32_t kNone32 = std::numeric_limits<std::uint32_t>::max();
+
+// ---------------------------------------------------------------------------
+// Event queue: (time, kind rank, push sequence) min-heap. The rank order at
+// one timestamp is load-bearing: heals first (a resource repaired at t can
+// serve work dispatched at t), then completions (work finishing exactly when
+// a fault strikes has completed), then timetable releases, then faults.
+// ---------------------------------------------------------------------------
+
+enum class EventKind : std::uint8_t {
+  kHealProcessor,
+  kHealLink,
+  kTaskFinish,
+  kTransferFinish,
+  kRelease,
+  kFault,
+};
+
+int event_rank(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kHealProcessor:
+    case EventKind::kHealLink:
+      return 0;
+    case EventKind::kTaskFinish:
+    case EventKind::kTransferFinish:
+      return 1;
+    case EventKind::kRelease:
+      return 2;
+    case EventKind::kFault:
+      return 3;
+  }
+  return 4;
+}
+
+struct Event {
+  double time = 0.0;
+  int rank = 0;
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::kRelease;
+  std::uint32_t index = 0;
+  std::uint32_t gen = 0;  ///< invalidates finish events of killed attempts
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    if (a.rank != b.rank) {
+      return a.rank > b.rank;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+enum class OpState : std::uint8_t { kPending, kRunning, kDone };
+
+struct TaskOp {
+  std::uint32_t proc = 0;  ///< round-local node index
+  std::uint32_t orig = 0;  ///< original task id
+  double anchor_start = 0.0;
+  double anchor_finish = 0.0;
+  std::uint32_t arrivals_pending = 0;
+  OpState state = OpState::kPending;
+  double start = 0.0;
+  double finish = 0.0;
+  double retry_not_before = 0.0;
+  std::uint32_t kills = 0;
+  std::uint32_t gen = 0;
+  bool stub = false;
+};
+
+struct TransferOp {
+  std::uint32_t edge = 0;       ///< round-local edge id
+  std::uint32_t orig_edge = 0;  ///< original edge id (sampler stream key)
+  std::uint32_t chain_prev = kNone32;
+  std::uint32_t link = kNone32;    ///< round-local link index
+  std::uint32_t domain = kNone32;  ///< set only when serialized
+  double anchor_start = 0.0;
+  double anchor_finish = 0.0;
+  bool serialized = false;  ///< exclusive slot: one at a time per domain
+  bool fluid = false;       ///< cut-through: starts once upstream starts
+  bool last_hop = false;    ///< completion contributes to the edge arrival
+  OpState state = OpState::kPending;
+  double start = 0.0;
+  double finish = 0.0;
+  double retry_not_before = 0.0;
+  std::uint32_t attempts = 0;  ///< factor stream index (counts starts)
+  std::uint32_t kills = 0;
+  std::uint32_t gen = 0;
+};
+
+struct ProcState {
+  std::vector<std::uint32_t> queue;  ///< task ops in planned start order
+  std::size_t next = 0;              ///< first not-yet-finished queue slot
+  std::uint32_t running = kNone32;
+  bool up = true;
+  bool dead = false;
+  double down_until = 0.0;
+};
+
+struct LinkState {
+  bool up = true;
+  bool dead = false;
+  double down_until = 0.0;
+};
+
+struct DomainState {
+  std::vector<std::uint32_t> queue;  ///< serialized ops in planned order
+  std::size_t next = 0;
+  std::uint32_t running = kNone32;
+};
+
+/// One master fault localized into the current round's id spaces.
+struct RoundFault {
+  std::size_t master = 0;  ///< index into the master fault list
+  FaultEvent event;        ///< original-id-space event
+  std::uint32_t local_target = 0;
+};
+
+enum class RoundOutcome { kCompleted, kAborted, kReschedule };
+
+struct RoundResult {
+  RoundOutcome outcome = RoundOutcome::kCompleted;
+  std::string failure;
+  double time = 0.0;
+  FaultEvent fault;  ///< trigger, original ids (valid when faulted)
+  bool faulted = false;
+};
+
+/// Inputs of one execution round: the plan to replay plus maps between the
+/// round's id spaces and the original instance's.
+struct RoundContext {
+  const dag::TaskGraph* graph = nullptr;
+  const net::Topology* topology = nullptr;
+  const sched::Schedule* schedule = nullptr;
+  double t0 = 0.0;
+  std::vector<std::uint32_t> task_orig;  ///< round task -> original task
+  std::vector<std::uint32_t> edge_orig;  ///< round edge -> original edge
+  std::vector<std::uint32_t> node_orig;  ///< round node -> original node
+  std::vector<std::uint32_t> link_orig;  ///< round link -> original link
+  std::vector<net::NodeId> orig_node_local;  ///< original node -> round node
+  std::vector<net::LinkId> orig_link_local;  ///< original link -> round link
+  std::vector<bool> stub;                    ///< round task -> is stub
+};
+
+/// Execution state that survives rescheduling rounds (original id spaces).
+struct GlobalState {
+  std::vector<bool> consumed;   ///< master faults already injected
+  std::vector<bool> dead_proc;  ///< per original node
+  std::vector<bool> dead_link;  ///< per original link
+  std::vector<char> finished;   ///< per original task
+  std::vector<std::uint32_t> attempts;  ///< starts per original task
+  std::vector<double> proc_down_until;  ///< transient downtime carryover
+  std::vector<double> link_down_until;
+};
+
+void log_recovery(const ExecutionOptions& options, const char* action,
+                  const FaultEvent* fault, double time,
+                  const std::string& algorithm, std::uint32_t remaining,
+                  double replan_makespan) {
+  obs::DecisionLog* log = obs::active_decision_log();
+  if (log == nullptr) {
+    return;
+  }
+  obs::RecoveryDecision decision;
+  decision.policy = std::string(to_string(options.policy));
+  decision.action = action;
+  if (fault != nullptr) {
+    decision.fault_kind =
+        fault->kind == FaultKind::kProcessor ? "processor" : "link";
+    decision.fault_target = fault->target;
+    decision.permanent = fault->permanent;
+  }
+  decision.time = time;
+  decision.algorithm = algorithm;
+  decision.tasks_remaining = remaining;
+  decision.replan_makespan = replan_makespan;
+  log->record(std::move(decision));
+}
+
+// ---------------------------------------------------------------------------
+// One round: replays one schedule until completion, abort, or a permanent
+// fault that demands a replan.
+// ---------------------------------------------------------------------------
+
+class Round {
+ public:
+  Round(const RoundContext& ctx, const ExecutionOptions& options,
+        const RuntimeSampler& sampler, const std::vector<FaultEvent>& master,
+        GlobalState& gs, ExecutionReport& report)
+      : ctx_(ctx),
+        options_(options),
+        sampler_(sampler),
+        gs_(gs),
+        report_(report),
+        graph_(*ctx.graph),
+        topology_(*ctx.topology),
+        schedule_(*ctx.schedule),
+        timetable_(options.dispatch == DispatchMode::kTimetable) {
+    build_tasks();
+    build_transfers();
+    localize_faults(master);
+  }
+
+  RoundResult run();
+
+ private:
+  // -- construction ---------------------------------------------------------
+
+  void build_tasks() {
+    const std::size_t num_tasks = graph_.num_tasks();
+    tasks_.resize(num_tasks);
+    procs_.resize(topology_.num_nodes());
+    links_.resize(topology_.num_links());
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      const sched::TaskPlacement& placement =
+          schedule_.task(dag::TaskId(static_cast<std::uint32_t>(i)));
+      throw_if(!placement.placed(), "execute: schedule leaves a task unplaced");
+      TaskOp& tk = tasks_[i];
+      tk.proc = placement.processor.value();
+      tk.orig = ctx_.task_orig[i];
+      tk.anchor_start = ctx_.t0 + placement.start;
+      tk.anchor_finish = ctx_.t0 + placement.finish;
+      tk.arrivals_pending = static_cast<std::uint32_t>(
+          graph_.in_edges(dag::TaskId(static_cast<std::uint32_t>(i))).size());
+      tk.stub = !ctx_.stub.empty() && ctx_.stub[i];
+      procs_[tk.proc].queue.push_back(static_cast<std::uint32_t>(i));
+    }
+    for (ProcState& p : procs_) {
+      std::sort(p.queue.begin(), p.queue.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  if (tasks_[a].anchor_start != tasks_[b].anchor_start) {
+                    return tasks_[a].anchor_start < tasks_[b].anchor_start;
+                  }
+                  return a < b;
+                });
+    }
+  }
+
+  void add_transfer(TransferOp op) {
+    if (op.serialized) {
+      op.domain = topology_.domain(net::LinkId(op.link)).value();
+    } else {
+      free_ops_.push_back(static_cast<std::uint32_t>(transfers_.size()));
+    }
+    transfers_.push_back(op);
+  }
+
+  void build_transfers() {
+    const std::size_t num_edges = graph_.num_edges();
+    edge_last_remaining_.assign(num_edges, 0);
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      const dag::EdgeId edge_id(static_cast<std::uint32_t>(e));
+      const sched::EdgeCommunication& comm = schedule_.communication(edge_id);
+      const dag::Edge& edge = graph_.edge(edge_id);
+      const double src_pf = ctx_.t0 + schedule_.task(edge.src).finish;
+      using Kind = sched::EdgeCommunication::Kind;
+      switch (comm.kind) {
+        case Kind::kLocal:
+          break;  // arrival completes when the source finishes
+        case Kind::kContentionFree: {
+          TransferOp op;
+          op.edge = static_cast<std::uint32_t>(e);
+          op.orig_edge = ctx_.edge_orig[e];
+          op.anchor_start = src_pf;
+          op.anchor_finish = ctx_.t0 + comm.arrival;
+          op.last_hop = true;
+          add_transfer(op);
+          edge_last_remaining_[e] = 1;
+          break;
+        }
+        case Kind::kExclusive: {
+          if (comm.occupations.empty()) {
+            break;
+          }
+          std::uint32_t prev = kNone32;
+          for (std::size_t h = 0; h < comm.occupations.size(); ++h) {
+            const sched::LinkOccupation& occ = comm.occupations[h];
+            TransferOp op;
+            op.edge = static_cast<std::uint32_t>(e);
+            op.orig_edge = ctx_.edge_orig[e];
+            op.chain_prev = prev;
+            op.link = occ.link.value();
+            op.serialized = true;
+            // Cut-through forwarding (network_state.cpp): a downstream
+            // slot starts once the upstream slot started, not finished.
+            op.fluid = true;
+            op.anchor_start = ctx_.t0 + occ.start;
+            op.anchor_finish = ctx_.t0 + occ.finish;
+            op.last_hop = h + 1 == comm.occupations.size();
+            prev = static_cast<std::uint32_t>(transfers_.size());
+            add_transfer(op);
+          }
+          edge_last_remaining_[e] = 1;
+          break;
+        }
+        case Kind::kPacketized: {
+          if (comm.occupations.empty()) {
+            break;
+          }
+          const std::size_t hops = comm.route.size();
+          throw_if(hops == 0 ||
+                       comm.occupations.size() != comm.packet_count * hops,
+                   "execute: malformed packetized communication");
+          for (std::size_t p = 0; p < comm.packet_count; ++p) {
+            std::uint32_t prev = kNone32;
+            for (std::size_t h = 0; h < hops; ++h) {
+              const sched::LinkOccupation& occ = comm.occupations[p * hops + h];
+              TransferOp op;
+              op.edge = static_cast<std::uint32_t>(e);
+              op.orig_edge = ctx_.edge_orig[e];
+              op.chain_prev = prev;
+              op.link = occ.link.value();
+              op.serialized = true;
+              op.anchor_start = ctx_.t0 + occ.start;
+              op.anchor_finish = ctx_.t0 + occ.finish;
+              op.last_hop = h + 1 == hops;
+              prev = static_cast<std::uint32_t>(transfers_.size());
+              add_transfer(op);
+            }
+          }
+          edge_last_remaining_[e] =
+              static_cast<std::uint32_t>(comm.packet_count);
+          break;
+        }
+        case Kind::kBandwidth: {
+          if (comm.profiles.empty()) {
+            break;
+          }
+          throw_if(comm.profiles.size() != comm.route.size(),
+                   "execute: malformed bandwidth communication");
+          std::uint32_t prev = kNone32;
+          for (std::size_t h = 0; h < comm.profiles.size(); ++h) {
+            const timeline::RateProfile& profile = comm.profiles[h];
+            TransferOp op;
+            op.edge = static_cast<std::uint32_t>(e);
+            op.orig_edge = ctx_.edge_orig[e];
+            op.chain_prev = prev;
+            op.link = comm.route[h].value();
+            op.fluid = true;
+            op.anchor_start = ctx_.t0 + profile.start_time();
+            op.anchor_finish = ctx_.t0 + profile.finish_time();
+            op.last_hop = h + 1 == comm.profiles.size();
+            prev = static_cast<std::uint32_t>(transfers_.size());
+            add_transfer(op);
+          }
+          edge_last_remaining_[e] = 1;
+          break;
+        }
+      }
+    }
+    // Serialized ops queue per contention domain in planned slot order.
+    domains_.resize(topology_.num_domains());
+    for (std::size_t i = 0; i < transfers_.size(); ++i) {
+      const TransferOp& op = transfers_[i];
+      if (op.serialized) {
+        domains_[op.domain].queue.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    for (DomainState& d : domains_) {
+      std::sort(d.queue.begin(), d.queue.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  const TransferOp& ta = transfers_[a];
+                  const TransferOp& tb = transfers_[b];
+                  if (ta.anchor_start != tb.anchor_start) {
+                    return ta.anchor_start < tb.anchor_start;
+                  }
+                  if (ta.anchor_finish != tb.anchor_finish) {
+                    return ta.anchor_finish < tb.anchor_finish;
+                  }
+                  if (ta.edge != tb.edge) {
+                    return ta.edge < tb.edge;
+                  }
+                  return a < b;
+                });
+    }
+  }
+
+  void localize_faults(const std::vector<FaultEvent>& master) {
+    for (std::size_t m = 0; m < master.size(); ++m) {
+      if (gs_.consumed[m]) {
+        continue;
+      }
+      const FaultEvent& fe = master[m];
+      RoundFault rf;
+      rf.master = m;
+      rf.event = fe;
+      if (fe.kind == FaultKind::kProcessor) {
+        const net::NodeId local = ctx_.orig_node_local[fe.target];
+        if (!local.valid()) {
+          gs_.consumed[m] = true;  // resource no longer exists
+          continue;
+        }
+        rf.local_target = local.value();
+      } else {
+        const net::LinkId local = ctx_.orig_link_local[fe.target];
+        if (!local.valid()) {
+          gs_.consumed[m] = true;
+          continue;
+        }
+        rf.local_target = local.value();
+      }
+      faults_.push_back(rf);
+    }
+  }
+
+  // -- event plumbing -------------------------------------------------------
+
+  void push_event(double time, EventKind kind, std::uint32_t index,
+                  std::uint32_t gen) {
+    events_.push(Event{time, event_rank(kind), seq_++, kind, index, gen});
+  }
+
+  // -- dispatch -------------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t edge_src_task(std::uint32_t edge) const {
+    return graph_.edge(dag::EdgeId(edge)).src.value();
+  }
+
+  [[nodiscard]] bool transfer_ready(const TransferOp& op, double now) const {
+    if (op.state != OpState::kPending || now < op.retry_not_before) {
+      return false;
+    }
+    if (timetable_ && now < op.anchor_start) {
+      return false;
+    }
+    if (op.link != kNone32 && !links_[op.link].up) {
+      return false;
+    }
+    if (op.chain_prev == kNone32) {
+      return tasks_[edge_src_task(op.edge)].state == OpState::kDone;
+    }
+    const TransferOp& prev = transfers_[op.chain_prev];
+    // Cut-through hops (exclusive, bandwidth) forward as soon as the
+    // upstream hop flows; packetized hops store-and-forward behind the
+    // fully crossed previous hop.
+    return op.fluid ? prev.state != OpState::kPending
+                    : prev.state == OpState::kDone;
+  }
+
+  void start_task(std::uint32_t ti, double now) {
+    TaskOp& tk = tasks_[ti];
+    const std::uint32_t attempt = gs_.attempts[tk.orig]++;
+    const double factor = sampler_.task_factor(tk.orig, attempt);
+    const double duration = tk.anchor_finish - tk.anchor_start;
+    tk.start = now;
+    // Exact-finish shortcut: an on-time nominal start reproduces the
+    // predicted finish bit-for-bit (start + (finish - start) would not).
+    tk.finish = (now == tk.anchor_start && factor == 1.0)
+                    ? tk.anchor_finish
+                    : now + duration * factor;
+    tk.state = OpState::kRunning;
+    procs_[tk.proc].running = ti;
+    push_event(tk.finish, EventKind::kTaskFinish, ti, tk.gen);
+  }
+
+  void start_transfer(std::uint32_t oi, double now) {
+    TransferOp& op = transfers_[oi];
+    const double factor = sampler_.bandwidth_factor(op.orig_edge, op.attempts);
+    ++op.attempts;
+    const double duration = op.anchor_finish - op.anchor_start;
+    double finish = (now == op.anchor_start && factor == 1.0)
+                        ? op.anchor_finish
+                        : now + duration * factor;
+    if (op.fluid && op.chain_prev != kNone32) {
+      // A hop cannot finish before the upstream hop finishes delivering.
+      finish = std::max(finish, transfers_[op.chain_prev].finish);
+    }
+    op.state = OpState::kRunning;
+    op.start = now;
+    op.finish = finish;
+    if (op.serialized) {
+      domains_[op.domain].running = oi;
+    }
+    push_event(finish, EventKind::kTransferFinish, oi, op.gen);
+  }
+
+  void dispatch(double now) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (ProcState& p : procs_) {
+        if (!p.up || p.running != kNone32 || p.next >= p.queue.size()) {
+          continue;
+        }
+        const std::uint32_t ti = p.queue[p.next];
+        TaskOp& tk = tasks_[ti];
+        if (tk.state != OpState::kPending || tk.arrivals_pending > 0 ||
+            now < tk.retry_not_before ||
+            (timetable_ && now < tk.anchor_start)) {
+          continue;
+        }
+        start_task(ti, now);
+        progress = true;
+      }
+      for (DomainState& d : domains_) {
+        if (d.running != kNone32 || d.next >= d.queue.size()) {
+          continue;
+        }
+        const std::uint32_t oi = d.queue[d.next];
+        if (!transfer_ready(transfers_[oi], now)) {
+          continue;
+        }
+        start_transfer(oi, now);
+        progress = true;
+      }
+      for (const std::uint32_t oi : free_ops_) {
+        if (!transfer_ready(transfers_[oi], now)) {
+          continue;
+        }
+        start_transfer(oi, now);
+        progress = true;
+      }
+    }
+  }
+
+  // -- completion -----------------------------------------------------------
+
+  void complete_arrival(std::uint32_t edge) {
+    TaskOp& dst = tasks_[graph_.edge(dag::EdgeId(edge)).dst.value()];
+    EDGESCHED_ASSERT(dst.arrivals_pending > 0);
+    --dst.arrivals_pending;
+  }
+
+  void on_task_finish(const Event& ev) {
+    TaskOp& tk = tasks_[ev.index];
+    if (tk.gen != ev.gen || tk.state != OpState::kRunning) {
+      return;  // stale finish of a killed attempt
+    }
+    tk.state = OpState::kDone;
+    ++finished_count_;
+    ProcState& p = procs_[tk.proc];
+    p.running = kNone32;
+    ++p.next;
+    if (!tk.stub) {
+      gs_.finished[tk.orig] = 1;
+      TaskRecord& rec = report_.tasks[tk.orig];
+      rec.start = tk.start;
+      rec.finish = tk.finish;
+      rec.processor = ctx_.node_orig[tk.proc];
+      rec.attempts = gs_.attempts[tk.orig];
+    }
+    for (const dag::EdgeId oe : graph_.out_edges(dag::TaskId(ev.index))) {
+      if (edge_last_remaining_[oe.index()] == 0) {
+        complete_arrival(oe.value());  // local edge: data is already there
+      }
+    }
+  }
+
+  void on_transfer_finish(const Event& ev) {
+    TransferOp& op = transfers_[ev.index];
+    if (op.gen != ev.gen || op.state != OpState::kRunning) {
+      return;
+    }
+    op.state = OpState::kDone;
+    if (op.serialized) {
+      DomainState& d = domains_[op.domain];
+      d.running = kNone32;
+      ++d.next;
+    }
+    if (op.last_hop && --edge_last_remaining_[op.edge] == 0) {
+      complete_arrival(op.edge);
+    }
+  }
+
+  // -- faults ---------------------------------------------------------------
+
+  void kill_task(std::uint32_t ti, double now) {
+    TaskOp& tk = tasks_[ti];
+    report_.work_lost += now - tk.start;
+    tk.state = OpState::kPending;
+    ++tk.gen;
+    ++tk.kills;
+  }
+
+  void kill_transfer(std::uint32_t oi) {
+    TransferOp& op = transfers_[oi];
+    op.state = OpState::kPending;
+    ++op.gen;
+    ++op.kills;
+    if (op.serialized) {
+      domains_[op.domain].running = kNone32;
+    }
+  }
+
+  [[nodiscard]] bool processor_needed(std::uint32_t np) const {
+    const ProcState& p = procs_[np];
+    if (p.next < p.queue.size()) {
+      return true;  // planned work still pending here
+    }
+    for (const std::uint32_t ti : p.queue) {
+      for (const dag::EdgeId oe : graph_.out_edges(dag::TaskId(ti))) {
+        if (edge_last_remaining_[oe.index()] > 0) {
+          return true;  // stored output still being shipped
+        }
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool link_needed(std::uint32_t l) const {
+    for (const TransferOp& op : transfers_) {
+      if (op.link == l && op.state != OpState::kDone) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::uint32_t remaining_tasks() const {
+    std::uint32_t remaining = 0;
+    for (const TaskOp& tk : tasks_) {
+      if (tk.state != OpState::kDone && !tk.stub) {
+        ++remaining;
+      }
+    }
+    return remaining;
+  }
+
+  [[nodiscard]] std::uint32_t surviving_processors() const {
+    std::uint32_t up = 0;
+    for (const net::NodeId p : topology_.processors()) {
+      if (!procs_[p.value()].dead) {
+        ++up;
+      }
+    }
+    return up;
+  }
+
+  RoundResult abort_round(double now, const FaultEvent* fault,
+                          std::string message) {
+    RoundResult rr;
+    rr.outcome = RoundOutcome::kAborted;
+    rr.failure = std::move(message);
+    rr.time = now;
+    if (fault != nullptr) {
+      rr.fault = *fault;
+      rr.faulted = true;
+    }
+    report_.recoveries.push_back(RecoveryRecord{
+        now, "abort", "", remaining_tasks(), surviving_processors(), 0.0});
+    log_recovery(options_, "abort", fault, now, "", remaining_tasks(), 0.0);
+    return rr;
+  }
+
+  std::optional<RoundResult> handle_fault(const RoundFault& rf, double now) {
+    gs_.consumed[rf.master] = true;
+    const FaultEvent& fe = rf.event;
+    std::vector<std::uint32_t> killed_tasks;
+    std::vector<std::uint32_t> killed_transfers;
+    double heal_at = now;
+    if (fe.kind == FaultKind::kProcessor) {
+      ProcState& p = procs_[rf.local_target];
+      if (p.dead) {
+        return std::nullopt;  // double fault on a dead resource: no-op
+      }
+      if (p.running != kNone32) {
+        killed_tasks.push_back(p.running);
+        kill_task(p.running, now);
+        p.running = kNone32;
+      }
+      if (fe.permanent) {
+        p.dead = true;
+        p.up = false;
+        gs_.dead_proc[fe.target] = true;
+      } else {
+        p.up = false;
+        const double until = now + fe.repair;
+        if (until > p.down_until) {
+          p.down_until = until;
+          push_event(until, EventKind::kHealProcessor, rf.local_target, 0);
+        }
+        gs_.proc_down_until[fe.target] =
+            std::max(gs_.proc_down_until[fe.target], p.down_until);
+        heal_at = p.down_until;
+      }
+    } else {
+      LinkState& ls = links_[rf.local_target];
+      if (ls.dead) {
+        return std::nullopt;
+      }
+      for (std::size_t i = 0; i < transfers_.size(); ++i) {
+        if (transfers_[i].link == rf.local_target &&
+            transfers_[i].state == OpState::kRunning) {
+          killed_transfers.push_back(static_cast<std::uint32_t>(i));
+          kill_transfer(static_cast<std::uint32_t>(i));
+        }
+      }
+      // Cut-through cascade: a downstream hop forwarding the killed flow
+      // carries incomplete data — reset it to re-run with its upstream
+      // (no kill charge; its own link is healthy).
+      bool cascaded = true;
+      while (cascaded) {
+        cascaded = false;
+        for (TransferOp& op : transfers_) {
+          if (op.state == OpState::kRunning && op.chain_prev != kNone32 &&
+              transfers_[op.chain_prev].state == OpState::kPending) {
+            op.state = OpState::kPending;
+            ++op.gen;
+            if (op.serialized) {
+              domains_[op.domain].running = kNone32;
+            }
+            cascaded = true;
+          }
+        }
+      }
+      if (fe.permanent) {
+        ls.dead = true;
+        ls.up = false;
+        gs_.dead_link[fe.target] = true;
+      } else {
+        ls.up = false;
+        const double until = now + fe.repair;
+        if (until > ls.down_until) {
+          ls.down_until = until;
+          push_event(until, EventKind::kHealLink, rf.local_target, 0);
+        }
+        gs_.link_down_until[fe.target] =
+            std::max(gs_.link_down_until[fe.target], ls.down_until);
+        heal_at = ls.down_until;
+      }
+    }
+    const std::uint32_t killed = static_cast<std::uint32_t>(
+        killed_tasks.size() + killed_transfers.size());
+    ++report_.faults_injected;
+    report_.faults.push_back(FaultRecord{
+        now, fe.kind == FaultKind::kProcessor ? "processor" : "link",
+        fe.target, fe.permanent, fe.permanent ? 0.0 : fe.repair, killed});
+
+    if (options_.policy == RecoveryPolicy::kFailStop) {
+      if (fe.permanent || killed > 0) {
+        std::ostringstream os;
+        os << "fail-stop: "
+           << (fe.kind == FaultKind::kProcessor ? "processor " : "link ")
+           << fe.target << (fe.permanent ? " failed permanently" : " fault")
+           << " at t=" << now;
+        return abort_round(now, &fe, os.str());
+      }
+      ++report_.faults_survived;
+      return std::nullopt;
+    }
+
+    if (!fe.permanent) {
+      // Retry killed work in place once the resource heals.
+      for (const std::uint32_t ti : killed_tasks) {
+        TaskOp& tk = tasks_[ti];
+        if (tk.kills > options_.max_retries) {
+          std::ostringstream os;
+          os << "retry limit exceeded: task " << tk.orig << " killed "
+             << tk.kills << " times";
+          return abort_round(now, &fe, os.str());
+        }
+        tk.retry_not_before = heal_at + options_.retry_backoff * tk.kills;
+        push_event(tk.retry_not_before, EventKind::kRelease, 0, 0);
+        ++report_.retries;
+      }
+      for (const std::uint32_t oi : killed_transfers) {
+        TransferOp& op = transfers_[oi];
+        if (op.kills > options_.max_retries) {
+          std::ostringstream os;
+          os << "retry limit exceeded: edge " << op.orig_edge << " killed "
+             << op.kills << " times";
+          return abort_round(now, &fe, os.str());
+        }
+        op.retry_not_before = heal_at + options_.retry_backoff * op.kills;
+        push_event(op.retry_not_before, EventKind::kRelease, 0, 0);
+        ++report_.retries;
+      }
+      if (killed > 0) {
+        log_recovery(options_, "retry", &fe, now, "", remaining_tasks(), 0.0);
+      }
+      ++report_.faults_survived;
+      return std::nullopt;
+    }
+
+    // Permanent fault under retry/reschedule.
+    const bool needed = fe.kind == FaultKind::kProcessor
+                            ? processor_needed(rf.local_target)
+                            : link_needed(rf.local_target);
+    if (!needed) {
+      ++report_.faults_survived;
+      return std::nullopt;
+    }
+    if (options_.policy == RecoveryPolicy::kRetry) {
+      std::ostringstream os;
+      os << "permanent "
+         << (fe.kind == FaultKind::kProcessor ? "processor " : "link ")
+         << fe.target << " failure strands pending work under retry policy";
+      return abort_round(now, &fe, os.str());
+    }
+    RoundResult rr;
+    rr.outcome = RoundOutcome::kReschedule;
+    rr.time = now;
+    rr.fault = fe;
+    rr.faulted = true;
+    return rr;
+  }
+
+  // -- round state ----------------------------------------------------------
+
+  const RoundContext& ctx_;
+  const ExecutionOptions& options_;
+  const RuntimeSampler& sampler_;
+  GlobalState& gs_;
+  ExecutionReport& report_;
+  const dag::TaskGraph& graph_;
+  const net::Topology& topology_;
+  const sched::Schedule& schedule_;
+  const bool timetable_;
+
+  std::vector<TaskOp> tasks_;
+  std::vector<TransferOp> transfers_;
+  std::vector<std::uint32_t> free_ops_;  ///< non-serialized transfer ops
+  std::vector<ProcState> procs_;
+  std::vector<LinkState> links_;
+  std::vector<DomainState> domains_;
+  std::vector<std::uint32_t> edge_last_remaining_;
+  std::vector<RoundFault> faults_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::uint64_t seq_ = 0;
+  std::size_t finished_count_ = 0;
+};
+
+RoundResult Round::run() {
+  push_event(ctx_.t0, EventKind::kRelease, 0, 0);
+  if (timetable_) {
+    for (const TaskOp& tk : tasks_) {
+      push_event(tk.anchor_start, EventKind::kRelease, 0, 0);
+    }
+    for (const TransferOp& op : transfers_) {
+      push_event(op.anchor_start, EventKind::kRelease, 0, 0);
+    }
+  }
+  // Transient downtime carried across a replan boundary.
+  for (std::size_t np = 0; np < procs_.size(); ++np) {
+    const double until = gs_.proc_down_until[ctx_.node_orig[np]];
+    if (until > ctx_.t0) {
+      procs_[np].up = false;
+      procs_[np].down_until = until;
+      push_event(until, EventKind::kHealProcessor,
+                 static_cast<std::uint32_t>(np), 0);
+    }
+  }
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    const double until = gs_.link_down_until[ctx_.link_orig[l]];
+    if (until > ctx_.t0) {
+      links_[l].up = false;
+      links_[l].down_until = until;
+      push_event(until, EventKind::kHealLink, static_cast<std::uint32_t>(l),
+                 0);
+    }
+  }
+  for (std::size_t f = 0; f < faults_.size(); ++f) {
+    push_event(faults_[f].event.time, EventKind::kFault,
+               static_cast<std::uint32_t>(f), 0);
+  }
+
+  double last_time = ctx_.t0;
+  while (!events_.empty() && finished_count_ < tasks_.size()) {
+    const double now = events_.top().time;
+    last_time = now;
+    obs::Span epoch("exec/epoch", "exec");
+    while (!events_.empty() && events_.top().time == now) {
+      const Event ev = events_.top();
+      events_.pop();
+      ++report_.events;
+      switch (ev.kind) {
+        case EventKind::kHealProcessor: {
+          ProcState& p = procs_[ev.index];
+          if (!p.dead && p.down_until <= now) {
+            p.up = true;
+          }
+          break;
+        }
+        case EventKind::kHealLink: {
+          LinkState& ls = links_[ev.index];
+          if (!ls.dead && ls.down_until <= now) {
+            ls.up = true;
+          }
+          break;
+        }
+        case EventKind::kTaskFinish:
+          on_task_finish(ev);
+          break;
+        case EventKind::kTransferFinish:
+          on_transfer_finish(ev);
+          break;
+        case EventKind::kRelease:
+          break;  // dispatch below picks up anchored/retried work
+        case EventKind::kFault: {
+          std::optional<RoundResult> result = handle_fault(faults_[ev.index], now);
+          if (result.has_value()) {
+            return *result;
+          }
+          break;
+        }
+      }
+    }
+    dispatch(now);
+  }
+  if (finished_count_ == tasks_.size()) {
+    RoundResult rr;
+    rr.outcome = RoundOutcome::kCompleted;
+    rr.time = last_time;
+    return rr;
+  }
+  std::ostringstream os;
+  os << "executor stalled: " << remaining_tasks()
+     << " tasks unfinished with no pending events";
+  return abort_round(last_time, nullptr, os.str());
+}
+
+/// Storage of one replanning round; heap-allocated so the RoundContext's
+/// pointers into it stay stable.
+struct Replan {
+  dag::Subgraph sub;
+  SurvivingTopology surv;
+  std::unique_ptr<sched::Schedule> plan;
+  RoundContext ctx;
+};
+
+}  // namespace
+
+ExecutionReport execute(const dag::TaskGraph& graph,
+                        const net::Topology& topology,
+                        const sched::Schedule& schedule,
+                        const ExecutionOptions& options) {
+  obs::Span span("exec/execute", "exec");
+  options.model.validate();
+  options.faults.validate(topology);
+  throw_if(schedule.num_tasks() != graph.num_tasks() ||
+               schedule.num_edges() != graph.num_edges(),
+           "execute: schedule shape does not match graph");
+  if (options.policy == RecoveryPolicy::kReschedule &&
+      !options.recovery_algorithm.empty()) {
+    throw_if(sched::find_algorithm(options.recovery_algorithm) == nullptr,
+             "execute: unknown recovery algorithm '" +
+                 options.recovery_algorithm + "'");
+  }
+
+  const RuntimeSampler sampler(options.model);
+  ExecutionReport report;
+  report.algorithm = schedule.algorithm();
+  report.predicted_makespan = schedule.makespan();
+  report.tasks.resize(graph.num_tasks());
+  for (std::size_t i = 0; i < graph.num_tasks(); ++i) {
+    const sched::TaskPlacement& placement =
+        schedule.task(dag::TaskId(static_cast<std::uint32_t>(i)));
+    TaskRecord& rec = report.tasks[i];
+    rec.task = static_cast<std::uint32_t>(i);
+    rec.processor = placement.placed() ? placement.processor.value() : kNone32;
+    rec.predicted_start = placement.start;
+    rec.predicted_finish = placement.finish;
+    rec.attempts = 0;
+  }
+
+  const std::vector<FaultEvent>& master = options.faults.events();
+  GlobalState gs;
+  gs.consumed.assign(master.size(), false);
+  gs.dead_proc.assign(topology.num_nodes(), false);
+  gs.dead_link.assign(topology.num_links(), false);
+  gs.finished.assign(graph.num_tasks(), 0);
+  gs.attempts.assign(graph.num_tasks(), 0);
+  gs.proc_down_until.assign(topology.num_nodes(), 0.0);
+  gs.link_down_until.assign(topology.num_links(), 0.0);
+
+  // Round 0: identity maps over the original instance.
+  RoundContext ctx0;
+  ctx0.graph = &graph;
+  ctx0.topology = &topology;
+  ctx0.schedule = &schedule;
+  ctx0.t0 = 0.0;
+  ctx0.task_orig.resize(graph.num_tasks());
+  for (std::size_t i = 0; i < graph.num_tasks(); ++i) {
+    ctx0.task_orig[i] = static_cast<std::uint32_t>(i);
+  }
+  ctx0.edge_orig.resize(graph.num_edges());
+  for (std::size_t e = 0; e < graph.num_edges(); ++e) {
+    ctx0.edge_orig[e] = static_cast<std::uint32_t>(e);
+  }
+  ctx0.node_orig.resize(topology.num_nodes());
+  ctx0.orig_node_local.resize(topology.num_nodes());
+  for (std::size_t n = 0; n < topology.num_nodes(); ++n) {
+    ctx0.node_orig[n] = static_cast<std::uint32_t>(n);
+    ctx0.orig_node_local[n] = net::NodeId(static_cast<std::uint32_t>(n));
+  }
+  ctx0.link_orig.resize(topology.num_links());
+  ctx0.orig_link_local.resize(topology.num_links());
+  for (std::size_t l = 0; l < topology.num_links(); ++l) {
+    ctx0.link_orig[l] = static_cast<std::uint32_t>(l);
+    ctx0.orig_link_local[l] = net::LinkId(static_cast<std::uint32_t>(l));
+  }
+
+  std::vector<std::unique_ptr<Replan>> replans;
+  const RoundContext* current = &ctx0;
+  obs::HotCounters& hot = obs::hot_counters();
+
+  while (true) {
+    const std::uint64_t events_before = report.events;
+    const std::uint32_t faults_before = report.faults_injected;
+    const std::uint32_t retries_before = report.retries;
+    Round round(*current, options, sampler, master, gs, report);
+    const RoundResult rr = round.run();
+    // Flush the round's hot counters in one batch per round.
+    hot.exec_events.increment(report.events - events_before);
+    hot.exec_faults.increment(report.faults_injected - faults_before);
+    hot.exec_retries.increment(report.retries - retries_before);
+
+    if (rr.outcome == RoundOutcome::kCompleted) {
+      report.completed = true;
+      break;
+    }
+    if (rr.outcome == RoundOutcome::kAborted) {
+      report.completed = false;
+      report.failure = rr.failure;
+      break;
+    }
+
+    // Permanent fault stranded work: replan the remaining subgraph on the
+    // surviving topology.
+    const FaultEvent* fault = rr.faulted ? &rr.fault : nullptr;
+    if (report.reschedules >= options.max_reschedules) {
+      report.completed = false;
+      report.failure = "reschedule limit exceeded";
+      report.recoveries.push_back(
+          RecoveryRecord{rr.time, "abort", "", 0, 0, 0.0});
+      log_recovery(options, "abort", fault, rr.time, "", 0, 0.0);
+      break;
+    }
+    obs::Span replan_span("exec/replan", "exec");
+    auto rp = std::make_unique<Replan>();
+    rp->surv = surviving_topology(topology, gs.dead_proc, gs.dead_link);
+    if (rp->surv.topology.num_processors() == 0 ||
+        !rp->surv.topology.processors_connected()) {
+      report.completed = false;
+      report.failure =
+          "unrecoverable: surviving topology has no connected processors";
+      report.recoveries.push_back(RecoveryRecord{
+          rr.time, "abort", "", 0,
+          static_cast<std::uint32_t>(rp->surv.topology.num_processors()),
+          0.0});
+      log_recovery(options, "abort", fault, rr.time, "", 0, 0.0);
+      break;
+    }
+
+    // What must re-run: every unfinished task plus the closure of finished
+    // tasks whose outputs died with a processor.
+    std::vector<bool> finished(graph.num_tasks());
+    std::vector<bool> lost(graph.num_tasks(), false);
+    for (std::size_t t = 0; t < graph.num_tasks(); ++t) {
+      finished[t] = gs.finished[t] != 0;
+      lost[t] = finished[t] && report.tasks[t].processor != kNone32 &&
+                gs.dead_proc[report.tasks[t].processor];
+    }
+    const RemainingWork work = remaining_work(graph, finished, lost);
+    for (const dag::TaskId t : work.rerun) {
+      if (gs.finished[t.index()] != 0) {
+        // A finished result died with its processor: bill the lost
+        // computation and mark the task unfinished again.
+        report.work_lost +=
+            report.tasks[t.index()].finish - report.tasks[t.index()].start;
+        gs.finished[t.index()] = 0;
+      }
+    }
+
+    std::vector<dag::TaskId> members = work.rerun;
+    members.insert(members.end(), work.stubs.begin(), work.stubs.end());
+    std::sort(members.begin(), members.end());
+    rp->sub = dag::induced_subgraph(graph, members);
+    std::vector<bool> stub_flags(rp->sub.graph.num_tasks(), false);
+    for (const dag::TaskId s : work.stubs) {
+      const dag::TaskId ns = rp->sub.new_id[s.index()];
+      stub_flags[ns.index()] = true;
+      rp->sub.graph.set_weight(ns, 0.0);
+    }
+    // Maps between the sub-instance and original id spaces.
+    std::vector<std::uint32_t> old_of(rp->sub.graph.num_tasks(), kNone32);
+    for (std::size_t t = 0; t < graph.num_tasks(); ++t) {
+      if (rp->sub.new_id[t].valid()) {
+        old_of[rp->sub.new_id[t].index()] = static_cast<std::uint32_t>(t);
+      }
+    }
+    std::unordered_map<std::uint64_t, std::uint32_t> pair_to_edge;
+    pair_to_edge.reserve(graph.num_edges());
+    for (std::size_t e = 0; e < graph.num_edges(); ++e) {
+      const dag::Edge& edge = graph.edge(dag::EdgeId(static_cast<std::uint32_t>(e)));
+      pair_to_edge.emplace(
+          static_cast<std::uint64_t>(edge.src.value()) * graph.num_tasks() +
+              edge.dst.value(),
+          static_cast<std::uint32_t>(e));
+    }
+    std::vector<std::uint32_t> sub_edge_orig(rp->sub.graph.num_edges(),
+                                             kNone32);
+    for (std::size_t e = 0; e < rp->sub.graph.num_edges(); ++e) {
+      const dag::Edge& edge =
+          rp->sub.graph.edge(dag::EdgeId(static_cast<std::uint32_t>(e)));
+      const auto it = pair_to_edge.find(
+          static_cast<std::uint64_t>(old_of[edge.src.index()]) *
+              graph.num_tasks() +
+          old_of[edge.dst.index()]);
+      EDGESCHED_ASSERT(it != pair_to_edge.end());
+      sub_edge_orig[e] = it->second;
+      if (stub_flags[edge.dst.index()]) {
+        // Stubs need no inputs — they stand in for data already produced.
+        rp->sub.graph.set_cost(dag::EdgeId(static_cast<std::uint32_t>(e)),
+                               0.0);
+      }
+    }
+
+    const std::string algorithm = options.recovery_algorithm.empty()
+                                      ? schedule.algorithm()
+                                      : options.recovery_algorithm;
+    try {
+      const std::unique_ptr<sched::Scheduler> scheduler =
+          sched::make_scheduler(algorithm);
+      rp->plan = std::make_unique<sched::Schedule>(
+          scheduler->schedule(rp->sub.graph, rp->surv.topology));
+      if (options.validate_recovery) {
+        sched::validate_or_throw(rp->sub.graph, rp->surv.topology, *rp->plan);
+      }
+    } catch (const std::exception& error) {
+      report.completed = false;
+      report.failure = std::string("recovery replan failed: ") + error.what();
+      report.recoveries.push_back(RecoveryRecord{
+          rr.time, "abort", algorithm,
+          static_cast<std::uint32_t>(work.rerun.size()),
+          static_cast<std::uint32_t>(rp->surv.topology.num_processors()),
+          0.0});
+      log_recovery(options, "abort", fault, rr.time, algorithm,
+                   static_cast<std::uint32_t>(work.rerun.size()), 0.0);
+      break;
+    }
+
+    ++report.reschedules;
+    ++report.faults_survived;  // the stranding fault is now handled
+    hot.exec_reschedules.increment();
+    report.recoveries.push_back(RecoveryRecord{
+        rr.time, "reschedule", rp->plan->algorithm(),
+        static_cast<std::uint32_t>(work.rerun.size()),
+        static_cast<std::uint32_t>(rp->surv.topology.num_processors()),
+        rp->plan->makespan()});
+    log_recovery(options, "reschedule", fault, rr.time, rp->plan->algorithm(),
+                 static_cast<std::uint32_t>(work.rerun.size()),
+                 rp->plan->makespan());
+
+    RoundContext& ctx = rp->ctx;
+    ctx.graph = &rp->sub.graph;
+    ctx.topology = &rp->surv.topology;
+    ctx.schedule = rp->plan.get();
+    ctx.t0 = rr.time + options.reschedule_delay;
+    ctx.task_orig = std::move(old_of);
+    ctx.edge_orig = std::move(sub_edge_orig);
+    ctx.node_orig.resize(rp->surv.topology.num_nodes());
+    for (std::size_t n = 0; n < rp->surv.topology.num_nodes(); ++n) {
+      ctx.node_orig[n] = rp->surv.to_old_node[n].value();
+    }
+    ctx.orig_node_local = rp->surv.to_new_node;
+    ctx.orig_link_local = rp->surv.to_new_link;
+    ctx.link_orig.resize(rp->surv.topology.num_links());
+    for (std::size_t l = 0; l < topology.num_links(); ++l) {
+      if (rp->surv.to_new_link[l].valid()) {
+        ctx.link_orig[rp->surv.to_new_link[l].index()] =
+            static_cast<std::uint32_t>(l);
+      }
+    }
+    ctx.stub = std::move(stub_flags);
+
+    replans.push_back(std::move(rp));
+    current = &replans.back()->ctx;
+  }
+
+  report.finalise();
+  return report;
+}
+
+}  // namespace edgesched::exec

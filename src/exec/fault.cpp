@@ -1,0 +1,157 @@
+#include "exec/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace edgesched::exec {
+
+namespace {
+
+void check_event(const FaultEvent& event) {
+  throw_if(event.time < 0.0, "FaultPlan: event time must be >= 0");
+  throw_if(!event.permanent && event.repair < 0.0,
+           "FaultPlan: transient repair time must be >= 0");
+}
+
+// Appends Poisson failure arrivals for one resource.
+void sample_resource(std::vector<FaultEvent>& events, FaultKind kind,
+                     std::uint32_t target, double rate,
+                     const HazardConfig& config, Rng& rng) {
+  if (rate <= 0.0) {
+    return;
+  }
+  double t = 0.0;
+  while (true) {
+    const double u = rng.uniform_real(0.0, 1.0);
+    t += -std::log1p(-u) / rate;  // exponential inter-arrival
+    if (t >= config.horizon) {
+      return;
+    }
+    FaultEvent event;
+    event.time = t;
+    event.kind = kind;
+    event.target = target;
+    event.permanent = rng.bernoulli(config.permanent_fraction);
+    if (!event.permanent) {
+      const double v = rng.uniform_real(0.0, 1.0);
+      event.repair = -std::log1p(-v) * config.mean_repair;
+    }
+    events.push_back(event);
+    if (event.permanent) {
+      return;  // a dead resource cannot fail again
+    }
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::scripted(std::vector<FaultEvent> events) {
+  FaultPlan plan;
+  for (const FaultEvent& event : events) {
+    check_event(event);
+  }
+  plan.events_ = std::move(events);
+  plan.sort_events();
+  return plan;
+}
+
+FaultPlan FaultPlan::sampled(const net::Topology& topology,
+                             const HazardConfig& config) {
+  throw_if(config.processor_rate < 0.0 || config.link_rate < 0.0,
+           "FaultPlan::sampled: rates must be >= 0");
+  throw_if(config.horizon < 0.0, "FaultPlan::sampled: horizon must be >= 0");
+  throw_if(config.permanent_fraction < 0.0 || config.permanent_fraction > 1.0,
+           "FaultPlan::sampled: permanent_fraction must be in [0, 1]");
+  throw_if(config.mean_repair < 0.0,
+           "FaultPlan::sampled: mean_repair must be >= 0");
+  FaultPlan plan;
+  Rng root(config.seed);
+  for (const net::NodeId p : topology.processors()) {
+    Rng rng = root.fork();
+    sample_resource(plan.events_, FaultKind::kProcessor,
+                    static_cast<std::uint32_t>(p.value()),
+                    config.processor_rate, config, rng);
+  }
+  for (const net::LinkId l : topology.all_links()) {
+    Rng rng = root.fork();
+    sample_resource(plan.events_, FaultKind::kLink,
+                    static_cast<std::uint32_t>(l.value()), config.link_rate,
+                    config, rng);
+  }
+  plan.sort_events();
+  return plan;
+}
+
+void FaultPlan::add(const FaultEvent& event) {
+  check_event(event);
+  events_.push_back(event);
+  sort_events();
+}
+
+void FaultPlan::fail_processor(double time, net::NodeId processor,
+                               bool permanent, double repair) {
+  FaultEvent event;
+  event.time = time;
+  event.kind = FaultKind::kProcessor;
+  event.target = static_cast<std::uint32_t>(processor.value());
+  event.permanent = permanent;
+  event.repair = repair;
+  add(event);
+}
+
+void FaultPlan::fail_link(double time, net::LinkId link, bool permanent,
+                          double repair) {
+  FaultEvent event;
+  event.time = time;
+  event.kind = FaultKind::kLink;
+  event.target = static_cast<std::uint32_t>(link.value());
+  event.permanent = permanent;
+  event.repair = repair;
+  add(event);
+}
+
+void FaultPlan::validate(const net::Topology& topology) const {
+  for (const FaultEvent& event : events_) {
+    if (event.kind == FaultKind::kProcessor) {
+      throw_if(event.target >= topology.num_nodes(),
+               "FaultPlan: processor fault targets unknown node");
+      throw_if(!topology.is_processor(net::NodeId(event.target)),
+               "FaultPlan: processor fault targets a switch");
+    } else {
+      throw_if(event.target >= topology.num_links(),
+               "FaultPlan: link fault targets unknown link");
+    }
+  }
+}
+
+std::uint64_t FaultPlan::fingerprint() const noexcept {
+  Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(events_.size()));
+  for (const FaultEvent& event : events_) {
+    fp.mix(event.time);
+    fp.mix(static_cast<std::uint64_t>(event.kind));
+    fp.mix(static_cast<std::uint64_t>(event.target));
+    fp.mix(static_cast<std::uint64_t>(event.permanent));
+    fp.mix(event.repair);
+  }
+  return fp.value();
+}
+
+void FaultPlan::sort_events() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.time != b.time) {
+                       return a.time < b.time;
+                     }
+                     if (a.kind != b.kind) {
+                       return a.kind < b.kind;
+                     }
+                     return a.target < b.target;
+                   });
+}
+
+}  // namespace edgesched::exec

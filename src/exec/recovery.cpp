@@ -1,0 +1,107 @@
+#include "exec/recovery.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace edgesched::exec {
+
+SurvivingTopology surviving_topology(const net::Topology& topology,
+                                     const std::vector<bool>& dead_processors,
+                                     const std::vector<bool>& dead_links) {
+  throw_if(dead_processors.size() != topology.num_nodes(),
+           "surviving_topology: dead_processors size mismatch");
+  throw_if(dead_links.size() != topology.num_links(),
+           "surviving_topology: dead_links size mismatch");
+
+  SurvivingTopology out;
+  out.topology.set_name(topology.name());
+  out.to_new_node.assign(topology.num_nodes(), net::NodeId());
+  out.to_new_link.assign(topology.num_links(), net::LinkId());
+
+  for (std::size_t i = 0; i < topology.num_nodes(); ++i) {
+    const net::NodeId old_id{static_cast<std::uint32_t>(i)};
+    const net::NetNode& node = topology.node(old_id);
+    if (node.kind == net::NodeKind::kProcessor && dead_processors[i]) {
+      continue;
+    }
+    const net::NodeId new_id =
+        node.kind == net::NodeKind::kProcessor
+            ? out.topology.add_processor(node.speed, node.name)
+            : out.topology.add_switch(node.name);
+    out.to_new_node[i] = new_id;
+    out.to_old_node.push_back(old_id);
+  }
+
+  // Shared media keep sharing: every surviving member of an original
+  // contention domain lands in one rebuilt domain.
+  std::vector<net::DomainId> domain_map(topology.num_domains(),
+                                        net::DomainId());
+  for (std::size_t i = 0; i < topology.num_links(); ++i) {
+    const net::LinkId old_id{static_cast<std::uint32_t>(i)};
+    const net::Link& link = topology.link(old_id);
+    if (dead_links[i] || !out.to_new_node[link.src.index()].valid() ||
+        !out.to_new_node[link.dst.index()].valid()) {
+      continue;
+    }
+    net::DomainId& mapped = domain_map[link.domain.index()];
+    if (!mapped.valid()) {
+      mapped = out.topology.add_domain();
+    }
+    out.to_new_link[i] = out.topology.add_link(
+        out.to_new_node[link.src.index()], out.to_new_node[link.dst.index()],
+        link.speed, mapped);
+  }
+  return out;
+}
+
+RemainingWork remaining_work(const dag::TaskGraph& graph,
+                             const std::vector<bool>& finished,
+                             const std::vector<bool>& lost) {
+  throw_if(finished.size() != graph.num_tasks(),
+           "remaining_work: finished size mismatch");
+  throw_if(lost.size() != graph.num_tasks(),
+           "remaining_work: lost size mismatch");
+
+  // Reverse topological sweep: a finished task whose output is lost must
+  // re-execute exactly when some consumer re-executes.
+  const std::vector<dag::TaskId> order = graph.topological_order();
+  std::vector<bool> rerun(graph.num_tasks(), false);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const dag::TaskId t = *it;
+    if (!finished[t.index()]) {
+      rerun[t.index()] = true;
+      continue;
+    }
+    if (!lost[t.index()]) {
+      continue;
+    }
+    for (const dag::TaskId s : graph.successors(t)) {
+      if (rerun[s.index()]) {
+        rerun[t.index()] = true;
+        break;
+      }
+    }
+  }
+
+  RemainingWork work;
+  for (std::size_t i = 0; i < graph.num_tasks(); ++i) {
+    const dag::TaskId t{static_cast<std::uint32_t>(i)};
+    if (rerun[i]) {
+      work.rerun.push_back(t);
+      continue;
+    }
+    if (!finished[i]) {
+      continue;  // unreachable: unfinished implies rerun
+    }
+    for (const dag::TaskId s : graph.successors(t)) {
+      if (rerun[s.index()]) {
+        work.stubs.push_back(t);
+        break;
+      }
+    }
+  }
+  return work;
+}
+
+}  // namespace edgesched::exec

@@ -1,0 +1,62 @@
+// Online recovery building blocks: what survives a permanent failure and
+// what still has to run.
+//
+// The reschedule-remaining policy re-invokes a planner on the *surviving*
+// topology for the *unfinished* subgraph. Two constructions make that a
+// standard scheduling instance again:
+//
+//   * `surviving_topology` rebuilds the network without the dead
+//     processors/links while preserving contention-domain sharing (a bus
+//     that lost a member is still one shared medium for the rest), and
+//     returns id maps in both directions.
+//   * `remaining_work` computes the tasks that must (re-)execute — the
+//     unfinished ones plus the transitive closure of finished tasks whose
+//     outputs died with a processor — and the finished "stub" producers
+//     whose surviving outputs feed them. Stubs enter the sub-instance as
+//     zero-weight tasks, so the recovery plan re-stages their data over
+//     the real network with real contention instead of assuming free
+//     migration.
+#pragma once
+
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "net/topology.hpp"
+
+namespace edgesched::exec {
+
+/// A rebuilt topology with original<->surviving id maps. Switches always
+/// survive; a removed node/link maps to an invalid id.
+struct SurvivingTopology {
+  net::Topology topology;
+  std::vector<net::NodeId> to_new_node;  ///< indexed by original node id
+  std::vector<net::LinkId> to_new_link;  ///< indexed by original link id
+  std::vector<net::NodeId> to_old_node;  ///< indexed by surviving node id
+};
+
+/// Rebuilds `topology` without `dead_processors` and `dead_links`
+/// (original-id index spaces, true = dead). Links incident to a dead
+/// processor are dropped too; contention domains are preserved for the
+/// surviving member links of shared media.
+[[nodiscard]] SurvivingTopology surviving_topology(
+    const net::Topology& topology, const std::vector<bool>& dead_processors,
+    const std::vector<bool>& dead_links);
+
+/// The work a reschedule must cover, in original task ids.
+struct RemainingWork {
+  /// Tasks to (re-)execute at full weight: every unfinished task plus the
+  /// closure of finished tasks whose outputs were lost.
+  std::vector<dag::TaskId> rerun;
+  /// Finished tasks with surviving outputs that feed a rerun task; they
+  /// join the sub-instance at zero weight (data re-staging only).
+  std::vector<dag::TaskId> stubs;
+};
+
+/// Computes the rerun/stub partition. `finished[t]` marks completed
+/// tasks; `lost[t]` marks tasks whose stored output is gone (finished on
+/// a permanently dead processor).
+[[nodiscard]] RemainingWork remaining_work(const dag::TaskGraph& graph,
+                                           const std::vector<bool>& finished,
+                                           const std::vector<bool>& lost);
+
+}  // namespace edgesched::exec

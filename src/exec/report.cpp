@@ -1,0 +1,114 @@
+#include "exec/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace edgesched::exec {
+
+void ExecutionReport::finalise() {
+  achieved_makespan = 0.0;
+  total_tardiness = 0.0;
+  max_tardiness = 0.0;
+  for (const TaskRecord& record : tasks) {
+    if (record.attempts == 0) {
+      continue;  // never started (aborted executions)
+    }
+    achieved_makespan = std::max(achieved_makespan, record.finish);
+    const double tardiness = std::max(0.0, record.tardiness());
+    total_tardiness += tardiness;
+    max_tardiness = std::max(max_tardiness, tardiness);
+  }
+  slowdown = predicted_makespan > 0.0
+                 ? achieved_makespan / predicted_makespan
+                 : 0.0;
+}
+
+obs::JsonValue ExecutionReport::to_json() const {
+  using obs::JsonValue;
+  JsonValue task_array = JsonValue::array();
+  for (const TaskRecord& record : tasks) {
+    task_array.push(JsonValue::object()
+                        .set("task", JsonValue(record.task))
+                        .set("processor", JsonValue(record.processor))
+                        .set("predicted_start",
+                             JsonValue(record.predicted_start))
+                        .set("predicted_finish",
+                             JsonValue(record.predicted_finish))
+                        .set("start", JsonValue(record.start))
+                        .set("finish", JsonValue(record.finish))
+                        .set("attempts", JsonValue(record.attempts))
+                        .set("tardiness", JsonValue(record.tardiness())));
+  }
+  JsonValue fault_array = JsonValue::array();
+  for (const FaultRecord& record : faults) {
+    fault_array.push(JsonValue::object()
+                         .set("time", JsonValue(record.time))
+                         .set("kind", JsonValue(record.kind))
+                         .set("target", JsonValue(record.target))
+                         .set("permanent", JsonValue(record.permanent))
+                         .set("repair", JsonValue(record.repair))
+                         .set("killed", JsonValue(record.killed)));
+  }
+  JsonValue recovery_array = JsonValue::array();
+  for (const RecoveryRecord& record : recoveries) {
+    recovery_array.push(
+        JsonValue::object()
+            .set("time", JsonValue(record.time))
+            .set("action", JsonValue(record.action))
+            .set("algorithm", JsonValue(record.algorithm))
+            .set("tasks_remaining", JsonValue(record.tasks_remaining))
+            .set("processors_surviving",
+                 JsonValue(record.processors_surviving))
+            .set("replan_makespan", JsonValue(record.replan_makespan)));
+  }
+  return obs::JsonValue::object()
+      .set("type", JsonValue("execution_report"))
+      .set("algorithm", JsonValue(algorithm))
+      .set("completed", JsonValue(completed))
+      .set("failure", JsonValue(failure))
+      .set("predicted_makespan", JsonValue(predicted_makespan))
+      .set("achieved_makespan", JsonValue(achieved_makespan))
+      .set("slowdown", JsonValue(slowdown))
+      .set("total_tardiness", JsonValue(total_tardiness))
+      .set("max_tardiness", JsonValue(max_tardiness))
+      .set("events", JsonValue(events))
+      .set("retries", JsonValue(retries))
+      .set("faults_injected", JsonValue(faults_injected))
+      .set("faults_survived", JsonValue(faults_survived))
+      .set("reschedules", JsonValue(reschedules))
+      .set("work_lost", JsonValue(work_lost))
+      .set("tasks", std::move(task_array))
+      .set("faults", std::move(fault_array))
+      .set("recoveries", std::move(recovery_array));
+}
+
+std::string ExecutionReport::summary() const {
+  std::ostringstream os;
+  os << "execution[" << algorithm << "] "
+     << (completed ? "completed" : "FAILED");
+  if (!completed && !failure.empty()) {
+    os << " (" << failure << ")";
+  }
+  os << ": predicted " << predicted_makespan << ", achieved "
+     << achieved_makespan;
+  if (slowdown > 0.0) {
+    os << " (x" << slowdown << ")";
+  }
+  os << ", " << events << " events";
+  if (faults_injected > 0) {
+    os << ", " << faults_injected << " faults (" << faults_survived
+       << " survived)";
+  }
+  if (retries > 0) {
+    os << ", " << retries << " retries";
+  }
+  if (reschedules > 0) {
+    os << ", " << reschedules << " reschedules";
+  }
+  if (work_lost > 0.0) {
+    os << ", work lost " << work_lost;
+  }
+  return os.str();
+}
+
+}  // namespace edgesched::exec

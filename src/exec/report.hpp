@@ -1,0 +1,89 @@
+// Execution outcome of a schedule replayed by the discrete-event
+// executor: achieved vs predicted timing, per-task tardiness, and the
+// full fault/recovery history. Serialises to a single JSON document
+// (`to_json`) that tools/check_json validates in CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace edgesched::exec {
+
+/// Achieved timing of one task (original graph/topology id spaces, even
+/// for tasks that re-ran on a rescheduled plan).
+struct TaskRecord {
+  std::uint32_t task = 0;
+  std::uint32_t processor = 0;  ///< node the final attempt ran on
+  double predicted_start = 0.0;
+  double predicted_finish = 0.0;
+  double start = 0.0;
+  double finish = 0.0;
+  std::uint32_t attempts = 1;  ///< 1 + retries/re-executions
+
+  /// How much later than planned the task completed (>= 0 under
+  /// timetable dispatch; can be negative in event-driven mode).
+  [[nodiscard]] double tardiness() const noexcept {
+    return finish - predicted_finish;
+  }
+};
+
+/// One injected fault, with what it destroyed.
+struct FaultRecord {
+  double time = 0.0;
+  std::string kind;  ///< "processor" | "link"
+  std::uint32_t target = 0;
+  bool permanent = false;
+  double repair = 0.0;
+  std::uint32_t killed = 0;  ///< running tasks/transfers destroyed
+};
+
+/// One recovery action (retry or reschedule) or the final abort.
+struct RecoveryRecord {
+  double time = 0.0;
+  std::string action;     ///< "retry" | "reschedule" | "abort"
+  std::string algorithm;  ///< replanning algorithm ("" for retries)
+  std::uint32_t tasks_remaining = 0;
+  std::uint32_t processors_surviving = 0;
+  double replan_makespan = 0.0;
+};
+
+struct ExecutionReport {
+  std::string algorithm;  ///< of the executed (original) schedule
+  bool completed = false;
+  std::string failure;  ///< human-readable reason when !completed
+
+  double predicted_makespan = 0.0;
+  double achieved_makespan = 0.0;
+  /// achieved / predicted; 0 when the predicted makespan is 0.
+  double slowdown = 0.0;
+
+  double total_tardiness = 0.0;
+  double max_tardiness = 0.0;
+
+  std::uint64_t events = 0;      ///< executor events processed
+  std::uint32_t retries = 0;     ///< attempts beyond the first
+  std::uint32_t faults_injected = 0;
+  std::uint32_t faults_survived = 0;
+  std::uint32_t reschedules = 0;
+  /// Computation time destroyed by kills plus re-executed lost outputs.
+  double work_lost = 0.0;
+
+  std::vector<TaskRecord> tasks;
+  std::vector<FaultRecord> faults;
+  std::vector<RecoveryRecord> recoveries;
+
+  /// Recomputes the derived aggregates (achieved makespan, slowdown,
+  /// tardiness totals) from the task records.
+  void finalise();
+
+  /// Full JSON document ({"type":"execution_report", ...}).
+  [[nodiscard]] obs::JsonValue to_json() const;
+
+  /// One-paragraph human summary for CLIs and logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace edgesched::exec

@@ -47,6 +47,13 @@ LinkId Topology::add_link(NodeId src, NodeId dst, double speed) {
   return add_link_in_domain(src, dst, speed, new_domain());
 }
 
+LinkId Topology::add_link(NodeId src, NodeId dst, double speed,
+                          DomainId domain) {
+  throw_if(!domain.valid() || domain.index() >= num_domains_,
+           "Topology::add_link: unknown contention domain");
+  return add_link_in_domain(src, dst, speed, domain);
+}
+
 std::pair<LinkId, LinkId> Topology::add_duplex_link(NodeId a, NodeId b,
                                                     double speed) {
   return {add_link(a, b, speed), add_link(b, a, speed)};

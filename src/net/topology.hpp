@@ -71,6 +71,19 @@ class Topology {
   /// Adds one directed link src -> dst with its own contention domain.
   LinkId add_link(NodeId src, NodeId dst, double speed = 1.0);
 
+  /// Allocates an empty contention domain. Together with the
+  /// domain-taking `add_link` overload this lets a rebuild (e.g. the
+  /// executor's surviving-topology construction after a permanent
+  /// failure) reproduce an arbitrary domain structure — half-duplex
+  /// cables and buses keep sharing one domain even when some of their
+  /// member links did not survive.
+  DomainId add_domain() noexcept { return new_domain(); }
+
+  /// Adds a link inside an existing contention domain (a member of a
+  /// shared medium). The domain must have been allocated by this
+  /// topology (`add_domain` or any link/bus builder).
+  LinkId add_link(NodeId src, NodeId dst, double speed, DomainId domain);
+
   /// Adds a full-duplex cable: two directed links in independent domains.
   std::pair<LinkId, LinkId> add_duplex_link(NodeId a, NodeId b,
                                             double speed = 1.0);

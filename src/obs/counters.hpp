@@ -42,6 +42,10 @@ struct HotCounters {
   svc::Counter& edges_routed;  ///< remote edges committed to the network
   svc::Counter& pool_jobs;     ///< svc::ThreadPool jobs executed
   svc::Counter& sweep_instances;
+  svc::Counter& exec_events;       ///< executor events processed
+  svc::Counter& exec_faults;       ///< fault events injected
+  svc::Counter& exec_retries;      ///< task/transfer attempts restarted
+  svc::Counter& exec_reschedules;  ///< online replans performed
 };
 
 [[nodiscard]] HotCounters& hot_counters();

@@ -49,6 +49,20 @@ JsonValue to_json(const EdgeDecision& d) {
       .set("hops", std::move(hops));
 }
 
+JsonValue to_json(const RecoveryDecision& d) {
+  return JsonValue::object()
+      .set("type", JsonValue("recovery"))
+      .set("policy", JsonValue(d.policy))
+      .set("action", JsonValue(d.action))
+      .set("fault_kind", JsonValue(d.fault_kind))
+      .set("fault_target", JsonValue(d.fault_target))
+      .set("permanent", JsonValue(d.permanent))
+      .set("time", JsonValue(d.time))
+      .set("algorithm", JsonValue(d.algorithm))
+      .set("tasks_remaining", JsonValue(d.tasks_remaining))
+      .set("replan_makespan", JsonValue(d.replan_makespan));
+}
+
 JsonValue to_json(const InsertionDecision& d) {
   return JsonValue::object()
       .set("type", JsonValue("insertion"))
@@ -93,6 +107,16 @@ void DecisionLog::record(InsertionDecision decision) {
   insertions_.push_back(decision);
 }
 
+void DecisionLog::record(RecoveryDecision decision) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_ != nullptr) {
+    *sink_ << to_json(decision).dump() << '\n';
+    return;
+  }
+  order_.emplace_back(Kind::kRecovery, recoveries_.size());
+  recoveries_.push_back(std::move(decision));
+}
+
 std::vector<TaskDecision> DecisionLog::task_decisions() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return tasks_;
@@ -106,6 +130,11 @@ std::vector<EdgeDecision> DecisionLog::edge_decisions() const {
 std::vector<InsertionDecision> DecisionLog::insertion_decisions() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return insertions_;
+}
+
+std::vector<RecoveryDecision> DecisionLog::recovery_decisions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recoveries_;
 }
 
 std::size_t DecisionLog::size() const {
@@ -125,6 +154,9 @@ void DecisionLog::write_jsonl(std::ostream& os) const {
         break;
       case Kind::kInsertion:
         os << to_json(insertions_[index]).dump() << '\n';
+        break;
+      case Kind::kRecovery:
+        os << to_json(recoveries_[index]).dump() << '\n';
         break;
     }
   }

@@ -75,6 +75,25 @@ struct EdgeDecision {
                               ///< when local
 };
 
+/// One runtime recovery choice of the discrete-event executor (src/exec):
+/// how a fault was answered — a retry of the killed work, a reschedule of
+/// the remaining subgraph onto the surviving topology, or an abort.
+/// JSONL: {"type":"recovery","policy":"reschedule","action":"reschedule",
+///   "time":12.5,"fault_kind":"processor","fault_target":2,
+///   "permanent":true,"algorithm":"oihsa","tasks_remaining":7,
+///   "replan_makespan":31.0}
+struct RecoveryDecision {
+  std::string policy;      ///< configured RecoveryPolicy name
+  std::string action;      ///< "retry" | "reschedule" | "abort"
+  std::string fault_kind;  ///< "processor" | "link"
+  std::uint32_t fault_target = 0;
+  bool permanent = false;
+  double time = 0.0;            ///< virtual time of the decision
+  std::string algorithm;        ///< replanning algorithm ("" for retries)
+  std::uint32_t tasks_remaining = 0;
+  double replan_makespan = 0.0; ///< sub-schedule makespan (0 for retries)
+};
+
 /// Outcome of one optimal-insertion commit on one link (§4.4).
 struct InsertionDecision {
   std::uint32_t edge = 0;
@@ -99,11 +118,13 @@ class DecisionLog {
   void record(TaskDecision decision);
   void record(EdgeDecision decision);
   void record(InsertionDecision decision);
+  void record(RecoveryDecision decision);
 
   /// Snapshot accessors (copies; safe while workers still record).
   [[nodiscard]] std::vector<TaskDecision> task_decisions() const;
   [[nodiscard]] std::vector<EdgeDecision> edge_decisions() const;
   [[nodiscard]] std::vector<InsertionDecision> insertion_decisions() const;
+  [[nodiscard]] std::vector<RecoveryDecision> recovery_decisions() const;
   /// Total records across all three kinds.
   [[nodiscard]] std::size_t size() const;
 
@@ -115,7 +136,7 @@ class DecisionLog {
   [[nodiscard]] static DecisionLog* active() noexcept;
 
  private:
-  enum class Kind : std::uint8_t { kTask, kEdge, kInsertion };
+  enum class Kind : std::uint8_t { kTask, kEdge, kInsertion, kRecovery };
 
   void append_line(const std::string& line);
 
@@ -124,6 +145,7 @@ class DecisionLog {
   std::vector<TaskDecision> tasks_;
   std::vector<EdgeDecision> edges_;
   std::vector<InsertionDecision> insertions_;
+  std::vector<RecoveryDecision> recoveries_;
   std::vector<std::pair<Kind, std::size_t>> order_;
 };
 

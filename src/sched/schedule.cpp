@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "util/hash.hpp"
+
 namespace edgesched::sched {
 
 Schedule::Schedule(std::string algorithm, std::size_t num_tasks,
@@ -46,6 +48,45 @@ double Schedule::processor_utilisation(const dag::TaskGraph& graph,
     }
   }
   return busy / (total * static_cast<double>(topology.num_processors()));
+}
+
+std::uint64_t Schedule::fingerprint() const noexcept {
+  Fingerprint fp;
+  fp.mix(std::string_view(algorithm_));
+  fp.mix(static_cast<std::uint64_t>(tasks_.size()));
+  for (const TaskPlacement& p : tasks_) {
+    fp.mix(p.placed() ? static_cast<std::uint64_t>(p.processor.value())
+                      : ~std::uint64_t{0});
+    fp.mix(p.start);
+    fp.mix(p.finish);
+  }
+  fp.mix(static_cast<std::uint64_t>(edges_.size()));
+  for (const EdgeCommunication& comm : edges_) {
+    fp.mix(static_cast<std::uint64_t>(comm.kind));
+    fp.mix(static_cast<std::uint64_t>(comm.route.size()));
+    for (const net::LinkId link : comm.route) {
+      fp.mix(static_cast<std::uint64_t>(link.value()));
+    }
+    fp.mix(static_cast<std::uint64_t>(comm.occupations.size()));
+    for (const LinkOccupation& occ : comm.occupations) {
+      fp.mix(static_cast<std::uint64_t>(occ.link.value()));
+      fp.mix(occ.earliest_start);
+      fp.mix(occ.start);
+      fp.mix(occ.finish);
+    }
+    fp.mix(static_cast<std::uint64_t>(comm.profiles.size()));
+    for (const timeline::RateProfile& profile : comm.profiles) {
+      fp.mix(static_cast<std::uint64_t>(profile.segments().size()));
+      for (const timeline::RateSegment& seg : profile.segments()) {
+        fp.mix(seg.start);
+        fp.mix(seg.end);
+        fp.mix(seg.rate);
+      }
+    }
+    fp.mix(static_cast<std::uint64_t>(comm.packet_count));
+    fp.mix(comm.arrival);
+  }
+  return fp.value();
 }
 
 std::string Schedule::to_string(const dag::TaskGraph& graph,

@@ -61,8 +61,13 @@ void check_processor_exclusivity(const dag::TaskGraph& graph,
     }
   }
   for (auto& [proc, tasks] : by_processor) {
+    // Tie-break equal starts by finish so a zero-duration task sharing
+    // another task's start sorts before it instead of "overlapping" it.
     std::sort(tasks.begin(), tasks.end(), [&](dag::TaskId a, dag::TaskId b) {
-      return schedule.task(a).start < schedule.task(b).start;
+      if (schedule.task(a).start != schedule.task(b).start) {
+        return schedule.task(a).start < schedule.task(b).start;
+      }
+      return schedule.task(a).finish < schedule.task(b).finish;
     });
     for (std::size_t i = 1; i < tasks.size(); ++i) {
       const TaskPlacement& prev = schedule.task(tasks[i - 1]);

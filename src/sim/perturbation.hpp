@@ -1,11 +1,12 @@
 // Schedule robustness under runtime duration noise.
 //
 // Static schedules are computed from nominal task costs; real executions
-// jitter. This module re-executes a schedule's *assignment* with
-// multiplicatively perturbed task weights (the standard robustness
-// methodology for static DAG scheduling) and reports the makespan
-// distribution: a schedule whose makespan explodes under ±20 % noise is a
-// fragile one regardless of its nominal value.
+// jitter. This module replays a schedule through the discrete-event
+// executor (src/exec) in work-conserving mode with multiplicatively
+// perturbed task durations (the standard robustness methodology for
+// static DAG scheduling) and reports the makespan distribution: a
+// schedule whose makespan explodes under ±20 % noise is a fragile one
+// regardless of its nominal value.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +27,8 @@ struct PerturbationOptions {
 };
 
 struct RobustnessReport {
-  /// Makespan of the assignment re-executed with nominal weights.
+  /// Makespan of the schedule replayed with nominal durations
+  /// (work-conserving, so it can undercut the planned makespan).
   double nominal_makespan = 0.0;
   /// Distribution of perturbed makespans.
   RunningStats perturbed;
@@ -36,9 +38,10 @@ struct RobustnessReport {
   double worst_slowdown = 0.0;
 };
 
-/// Re-executes `schedule`'s task→processor assignment under perturbed
-/// weights. Communication costs are left nominal (the noise models
-/// computation variance).
+/// Replays `schedule` under the discrete-event executor with perturbed
+/// task durations (event-driven dispatch; one derived seed per trial).
+/// Communication costs are left nominal (the noise models computation
+/// variance).
 [[nodiscard]] RobustnessReport assess_robustness(
     const dag::TaskGraph& graph, const net::Topology& topology,
     const sched::Schedule& schedule,

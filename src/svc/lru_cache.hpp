@@ -1,0 +1,114 @@
+// Generic content-addressed LRU cache.
+//
+// Both service caches — computed schedules and execution reports — are
+// the same structure: a bounded map from a canonical 64-bit request
+// fingerprint to a shared_ptr of an immutable result, with
+// least-recently-used eviction and monotonic hit/miss counters.
+// `LruCache<V>` is that structure; `ScheduleCache` and `ExecutionCache`
+// are thin aliases-by-inheritance that fix V.
+//
+// Thread safety: every public member is safe to call concurrently; a
+// single mutex guards the LRU list, the index and the counters. Cached
+// values are handed out as shared_ptr<const V>, so an entry evicted
+// while a client still holds the pointer stays alive for that client.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace edgesched::svc {
+
+/// Monotonic cache counters (snapshot; see LruCache::stats()).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+template <typename V>
+class LruCache {
+ public:
+  using ValuePtr = std::shared_ptr<const V>;
+
+  /// Capacity is the maximum number of retained entries; must be >= 1.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    throw_if(capacity == 0, "LruCache: capacity must be >= 1");
+  }
+
+  /// Returns the cached value and refreshes its LRU position, or nullptr
+  /// on a miss. Counts a hit or a miss.
+  [[nodiscard]] ValuePtr get(std::uint64_t key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// one when full. A put of an existing key replaces the value.
+  void put(std::uint64_t key, ValuePtr value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (lru_.size() >= capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_.emplace(key, lru_.begin());
+    ++stats_.insertions;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] CacheStats stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  /// Drops every entry; counters are preserved.
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+  }
+
+ private:
+  using LruList = std::list<std::pair<std::uint64_t, ValuePtr>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, typename LruList::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace edgesched::svc

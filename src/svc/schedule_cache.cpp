@@ -1,6 +1,5 @@
 #include "svc/schedule_cache.hpp"
 
-#include "util/error.hpp"
 #include "util/hash.hpp"
 
 namespace edgesched::svc {
@@ -23,56 +22,6 @@ std::uint64_t request_fingerprint(const dag::TaskGraph& graph,
   fp.mix(topology.fingerprint());
   fp.mix(algorithm_fingerprint);
   return fp.value();
-}
-
-ScheduleCache::ScheduleCache(std::size_t capacity) : capacity_(capacity) {
-  throw_if(capacity == 0, "ScheduleCache: capacity must be >= 1");
-}
-
-ScheduleCache::SchedulePtr ScheduleCache::get(std::uint64_t key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return nullptr;
-  }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->second;
-}
-
-void ScheduleCache::put(std::uint64_t key, SchedulePtr schedule) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->second = std::move(schedule);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
-  }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++stats_.evictions;
-  }
-  lru_.emplace_front(key, std::move(schedule));
-  index_.emplace(key, lru_.begin());
-  ++stats_.insertions;
-}
-
-std::size_t ScheduleCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
-}
-
-CacheStats ScheduleCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
-}
-
-void ScheduleCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
 }
 
 }  // namespace edgesched::svc

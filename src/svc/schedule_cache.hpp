@@ -7,25 +7,18 @@
 // name — identical content hashes identically no matter how or when the
 // objects were built, which is what lets independent clients share hits.
 //
-// Thread safety: every public member is safe to call concurrently; a
-// single mutex guards the LRU list, the index and the counters. Cached
-// schedules are handed out as shared_ptr<const Schedule>, so an entry
-// evicted while a client still holds the pointer stays alive for that
-// client.
+// The LRU mechanics (thread safety, eviction, counters) live in the
+// generic svc::LruCache — this header fixes the value type and owns the
+// request-fingerprint helpers.
 #pragma once
 
-#include <cstddef>
 #include <cstdint>
-#include <list>
-#include <memory>
-#include <mutex>
 #include <string_view>
-#include <unordered_map>
-#include <utility>
 
 #include "dag/task_graph.hpp"
 #include "net/topology.hpp"
 #include "sched/schedule.hpp"
+#include "svc/lru_cache.hpp"
 
 namespace edgesched::svc {
 
@@ -44,51 +37,10 @@ namespace edgesched::svc {
     const dag::TaskGraph& graph, const net::Topology& topology,
     std::uint64_t algorithm_fingerprint);
 
-/// Monotonic cache counters (snapshot; see ScheduleCache::stats()).
-struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t insertions = 0;
-  std::uint64_t evictions = 0;
-
-  [[nodiscard]] double hit_rate() const noexcept {
-    const std::uint64_t lookups = hits + misses;
-    return lookups == 0 ? 0.0
-                        : static_cast<double>(hits) /
-                              static_cast<double>(lookups);
-  }
-};
-
-class ScheduleCache {
+class ScheduleCache : public LruCache<sched::Schedule> {
  public:
   using SchedulePtr = std::shared_ptr<const sched::Schedule>;
-
-  /// Capacity is the maximum number of retained schedules; must be >= 1.
-  explicit ScheduleCache(std::size_t capacity);
-
-  /// Returns the cached schedule and refreshes its LRU position, or
-  /// nullptr on a miss. Counts a hit or a miss.
-  [[nodiscard]] SchedulePtr get(std::uint64_t key);
-
-  /// Inserts (or refreshes) an entry, evicting the least recently used
-  /// one when full. A put of an existing key replaces the value.
-  void put(std::uint64_t key, SchedulePtr schedule);
-
-  [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] CacheStats stats() const;
-
-  /// Drops every entry; counters are preserved.
-  void clear();
-
- private:
-  using LruList = std::list<std::pair<std::uint64_t, SchedulePtr>>;
-
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  LruList lru_;  ///< front = most recently used
-  std::unordered_map<std::uint64_t, LruList::iterator> index_;
-  CacheStats stats_;
+  using LruCache<sched::Schedule>::LruCache;
 };
 
 }  // namespace edgesched::svc

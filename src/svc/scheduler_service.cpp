@@ -7,18 +7,24 @@
 #include "sched/registry.hpp"
 #include "sched/validator.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace edgesched::svc {
 
 SchedulerService::SchedulerService(ServiceConfig config)
     : config_(config),
       cache_(config.cache_capacity),
+      exec_cache_(config.exec_cache_capacity),
       pool_(config.threads),
       requests_(metrics_.counter("svc_requests_total")),
       cache_hits_(metrics_.counter("svc_cache_hits_total")),
       cache_misses_(metrics_.counter("svc_cache_misses_total")),
       failures_(metrics_.counter("svc_failures_total")),
-      latency_(metrics_.histogram("svc_schedule_seconds")) {}
+      latency_(metrics_.histogram("svc_schedule_seconds")),
+      exec_requests_(metrics_.counter("svc_exec_requests_total")),
+      exec_cache_hits_(metrics_.counter("svc_exec_cache_hits_total")),
+      exec_cache_misses_(metrics_.counter("svc_exec_cache_misses_total")),
+      exec_latency_(metrics_.histogram("svc_execute_seconds")) {}
 
 SchedulerService::~SchedulerService() { shutdown(); }
 
@@ -90,6 +96,64 @@ std::future<SchedulerService::SchedulePtr> SchedulerService::submit_scheduler(
       throw;  // delivered to the caller through the future
     }
   });
+}
+
+std::future<SchedulerService::ExecutionPtr> SchedulerService::execute(
+    std::shared_ptr<const dag::TaskGraph> graph,
+    std::shared_ptr<const net::Topology> topology, SchedulePtr schedule,
+    exec::ExecutionOptions options) {
+  throw_if(graph == nullptr, "SchedulerService::execute: null graph");
+  throw_if(topology == nullptr, "SchedulerService::execute: null topology");
+  throw_if(schedule == nullptr, "SchedulerService::execute: null schedule");
+  // Fail loudly at the call site on malformed options.
+  options.model.validate();
+  options.faults.validate(*topology);
+  exec_requests_.increment();
+
+  // Execution is pure in (instance, schedule result, options): the model
+  // and fault plan are seeded, so a replay memoises like a schedule.
+  Fingerprint request;
+  request.mix(schedule->fingerprint());
+  request.mix(options.fingerprint());
+  const std::uint64_t key =
+      request_fingerprint(*graph, *topology, request.value());
+  if (ExecutionPtr cached = exec_cache_.get(key)) {
+    exec_cache_hits_.increment();
+    std::promise<ExecutionPtr> ready;
+    ready.set_value(std::move(cached));
+    return ready.get_future();
+  }
+  exec_cache_misses_.increment();
+
+  auto shared_options =
+      std::make_shared<const exec::ExecutionOptions>(std::move(options));
+  return pool_.submit([this, key, graph = std::move(graph),
+                       topology = std::move(topology),
+                       schedule = std::move(schedule),
+                       shared_options]() -> ExecutionPtr {
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      auto report = std::make_shared<const exec::ExecutionReport>(
+          exec::execute(*graph, *topology, *schedule, *shared_options));
+      exec_latency_.observe(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+      exec_cache_.put(key, report);
+      return report;
+    } catch (...) {
+      failures_.increment();
+      throw;  // delivered to the caller through the future
+    }
+  });
+}
+
+SchedulerService::ExecutionPtr SchedulerService::execute_now(
+    const dag::TaskGraph& graph, const net::Topology& topology,
+    const sched::Schedule& schedule, const exec::ExecutionOptions& options) {
+  return execute(std::make_shared<const dag::TaskGraph>(graph),
+                 std::make_shared<const net::Topology>(topology),
+                 std::make_shared<const sched::Schedule>(schedule), options)
+      .get();
 }
 
 SchedulerService::SchedulePtr SchedulerService::schedule_now(

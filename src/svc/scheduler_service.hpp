@@ -37,9 +37,12 @@
 #include <string_view>
 
 #include "dag/task_graph.hpp"
+#include "exec/executor.hpp"
+#include "exec/report.hpp"
 #include "net/topology.hpp"
 #include "sched/algorithm_spec.hpp"
 #include "sched/scheduler.hpp"
+#include "svc/lru_cache.hpp"
 #include "svc/metrics.hpp"
 #include "svc/schedule_cache.hpp"
 #include "svc/thread_pool.hpp"
@@ -51,13 +54,20 @@ struct ServiceConfig {
   std::size_t threads = 0;
   /// Maximum cached schedules (LRU beyond that).
   std::size_t cache_capacity = 1024;
+  /// Maximum cached execution reports (LRU beyond that).
+  std::size_t exec_cache_capacity = 256;
   /// Run every computed schedule through sched::validate_or_throw.
   bool validate = false;
 };
 
+/// Content-addressed LRU cache of execution reports; execution is as pure
+/// as scheduling (seeded model, scripted faults), so replays memoise too.
+using ExecutionCache = LruCache<exec::ExecutionReport>;
+
 class SchedulerService {
  public:
   using SchedulePtr = ScheduleCache::SchedulePtr;
+  using ExecutionPtr = ExecutionCache::ValuePtr;
 
   explicit SchedulerService(ServiceConfig config = {});
 
@@ -92,8 +102,28 @@ class SchedulerService {
                                          const net::Topology& topology,
                                          const std::string& algorithm);
 
+  /// Enqueues one execution request: replay `schedule` on the pool under
+  /// the discrete-event executor (src/exec). Keyed by the instance, the
+  /// schedule's result fingerprint and the execution options, so repeated
+  /// what-if replays of one plan hit the execution cache. Option
+  /// validation errors throw here; runtime failures (fail-stop aborts,
+  /// retry exhaustion) come back as reports with completed == false.
+  [[nodiscard]] std::future<ExecutionPtr> execute(
+      std::shared_ptr<const dag::TaskGraph> graph,
+      std::shared_ptr<const net::Topology> topology, SchedulePtr schedule,
+      exec::ExecutionOptions options = {});
+
+  /// Convenience wrapper: execute and wait (copies the inputs).
+  [[nodiscard]] ExecutionPtr execute_now(
+      const dag::TaskGraph& graph, const net::Topology& topology,
+      const sched::Schedule& schedule,
+      const exec::ExecutionOptions& options = {});
+
   [[nodiscard]] const ScheduleCache& cache() const noexcept {
     return cache_;
+  }
+  [[nodiscard]] const ExecutionCache& execution_cache() const noexcept {
+    return exec_cache_;
   }
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] std::size_t num_threads() const noexcept {
@@ -121,12 +151,17 @@ class SchedulerService {
   ServiceConfig config_;
   MetricsRegistry metrics_;
   ScheduleCache cache_;
+  ExecutionCache exec_cache_;
   ThreadPool pool_;
   Counter& requests_;
   Counter& cache_hits_;
   Counter& cache_misses_;
   Counter& failures_;
   Histogram& latency_;
+  Counter& exec_requests_;
+  Counter& exec_cache_hits_;
+  Counter& exec_cache_misses_;
+  Histogram& exec_latency_;
 };
 
 }  // namespace edgesched::svc

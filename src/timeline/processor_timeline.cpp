@@ -30,12 +30,18 @@ double ProcessorTimeline::earliest_start(double ready_time,
 void ProcessorTimeline::commit(dag::TaskId task, double start,
                                double duration) {
   const double finish = start + duration;
-  // upper_bound, not lower_bound: a zero-length slot sharing this start
-  // (a dummy entry/exit task) sorts before the new slot and then passes
-  // the predecessor check below instead of tripping the successor one.
+  // Order by (start, finish): zero-length slots sharing a start (dummy
+  // entry/exit tasks, recovery re-staging stubs) sort before a longer
+  // slot beginning at the same instant, so each side passes its
+  // neighbour check instead of tripping the other's.
   const auto insert_at = std::upper_bound(
-      slots_.begin(), slots_.end(), start,
-      [](double value, const TaskSlot& slot) { return value < slot.start; });
+      slots_.begin(), slots_.end(), std::make_pair(start, finish),
+      [](const std::pair<double, double>& value, const TaskSlot& slot) {
+        if (value.first != slot.start) {
+          return value.first < slot.start;
+        }
+        return value.second < slot.finish;
+      });
   // Placement must not overlap its neighbours.
   if (insert_at != slots_.begin()) {
     EDGESCHED_ASSERT_MSG(

@@ -1,0 +1,126 @@
+// Executor properties over fuzzed instances: nominal timetable replay is
+// bit-exact for every registry algorithm, and seeded runs are
+// byte-identical.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "dag/generators.hpp"
+#include "dag/properties.hpp"
+#include "exec/executor.hpp"
+#include "net/builders.hpp"
+#include "sched/registry.hpp"
+#include "util/rng.hpp"
+
+namespace edgesched::exec {
+namespace {
+
+struct Instance {
+  dag::TaskGraph graph;
+  net::Topology topo;
+};
+
+// Small fuzzed instances (the registry includes the GA/SA searchers, so
+// each schedule call must stay cheap).
+Instance fuzz_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  dag::LayeredDagParams params;
+  params.num_tasks =
+      8 + static_cast<std::size_t>(rng.uniform_int(0, 10));
+  dag::TaskGraph graph = dag::random_layered(params, rng);
+  dag::rescale_to_ccr(graph, 0.5 + rng.uniform_real(0.0, 2.0));
+  const std::size_t procs = 2 + static_cast<std::size_t>(
+                                    rng.uniform_int(0, 3));
+  net::Topology topo = [&] {
+    switch (rng.uniform_int(0, 2)) {
+      case 0: {
+        net::RandomWanParams wan;
+        wan.num_processors = procs;
+        return net::random_wan(wan, rng);
+      }
+      case 1:
+        return net::switched_star(procs, net::SpeedConfig{}, rng);
+      default:
+        return net::ring(procs, net::SpeedConfig{}, rng);
+    }
+  }();
+  return Instance{std::move(graph), std::move(topo)};
+}
+
+void expect_bit_exact(const Instance& inst, const sched::Schedule& schedule,
+                      const std::string& label) {
+  const ExecutionReport report =
+      execute(inst.graph, inst.topo, schedule);
+  ASSERT_TRUE(report.completed) << label << ": " << report.failure;
+  // Bit-exact: EXPECT_EQ on doubles, no tolerance.
+  ASSERT_EQ(report.achieved_makespan, schedule.makespan()) << label;
+  for (const TaskRecord& record : report.tasks) {
+    const auto& placed = schedule.task(dag::TaskId(record.task));
+    ASSERT_EQ(record.start, placed.start)
+        << label << " task " << record.task;
+    ASSERT_EQ(record.finish, placed.finish)
+        << label << " task " << record.task;
+  }
+}
+
+TEST(ExecutorProperty, NominalReplayBitExactOn100FuzzedInstances) {
+  const auto& registry = sched::algorithm_registry();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const Instance inst = fuzz_instance(1000 + i);
+    for (const auto& entry : registry) {
+      // The metaheuristic searchers cost ~1000 schedule evaluations per
+      // call; exercise them on every tenth instance only.
+      const bool heavy = entry.key == "ga" || entry.key == "sa";
+      if (heavy && i % 10 != 0) continue;
+      const sched::Schedule schedule =
+          entry.make()->schedule(inst.graph, inst.topo);
+      expect_bit_exact(inst, schedule,
+                       entry.key + "@" + std::to_string(i));
+    }
+  }
+}
+
+TEST(ExecutorProperty, SameSeedRunsAreByteIdentical) {
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const Instance inst = fuzz_instance(5000 + i);
+    const sched::Schedule schedule =
+        sched::make_scheduler(i % 2 == 0 ? "oihsa" : "bbsa")
+            ->schedule(inst.graph, inst.topo);
+    ExecutionOptions options;
+    options.model.duration_spread = 0.3;
+    options.model.bandwidth_spread = 0.2;
+    options.model.straggler_probability = 0.1;
+    options.model.seed = 40 + i;
+    HazardConfig hazard;
+    hazard.processor_rate = 0.002;
+    hazard.link_rate = 0.001;
+    hazard.horizon = 4.0 * schedule.makespan();
+    hazard.mean_repair = 0.05 * schedule.makespan();
+    hazard.seed = 17 + i;
+    options.faults = FaultPlan::sampled(inst.topo, hazard);
+    options.policy = RecoveryPolicy::kReschedule;
+    const ExecutionReport a =
+        execute(inst.graph, inst.topo, schedule, options);
+    const ExecutionReport b =
+        execute(inst.graph, inst.topo, schedule, options);
+    ASSERT_EQ(a.to_json().dump(), b.to_json().dump()) << i;
+  }
+}
+
+TEST(ExecutorProperty, EventDrivenNominalNeverLater) {
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const Instance inst = fuzz_instance(9000 + i);
+    const sched::Schedule schedule =
+        sched::make_scheduler("ba")->schedule(inst.graph, inst.topo);
+    ExecutionOptions options;
+    options.dispatch = DispatchMode::kEventDriven;
+    const ExecutionReport report =
+        execute(inst.graph, inst.topo, schedule, options);
+    ASSERT_TRUE(report.completed) << i << ": " << report.failure;
+    ASSERT_LE(report.achieved_makespan, schedule.makespan() + 1e-12) << i;
+  }
+}
+
+}  // namespace
+}  // namespace edgesched::exec

@@ -6,7 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "dag/generators.hpp"
+#include "exec/executor.hpp"
+#include "net/builders.hpp"
 #include "obs/json.hpp"
+#include "sched/registry.hpp"
+#include "util/rng.hpp"
 
 namespace edgesched::obs {
 namespace {
@@ -181,6 +186,73 @@ TEST(DecisionLog, StreamingSinkWritesInsteadOfStoring) {
   std::ostringstream replay;
   log.write_jsonl(replay);
   EXPECT_TRUE(replay.str().empty());
+}
+
+TEST(DecisionLog, RecoveryRecordsRoundTripThroughJsonl) {
+  RecoveryDecision decision;
+  decision.policy = "reschedule";
+  decision.action = "reschedule";
+  decision.fault_kind = "processor";
+  decision.fault_target = 2;
+  decision.permanent = true;
+  decision.time = 41.5;
+  decision.algorithm = "OIHSA";
+  decision.tasks_remaining = 7;
+  decision.replan_makespan = 88.25;
+
+  DecisionLog log;
+  log.record(decision);
+  ASSERT_EQ(log.recovery_decisions().size(), 1u);
+  EXPECT_EQ(log.recovery_decisions()[0].action, "reschedule");
+  EXPECT_EQ(log.size(), 1u);
+
+  std::ostringstream os;
+  log.write_jsonl(os);
+  const std::vector<JsonValue> docs = parse_lines(os.str());
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].at("type").as_string(), "recovery");
+  EXPECT_EQ(docs[0].at("policy").as_string(), "reschedule");
+  EXPECT_EQ(docs[0].at("fault_kind").as_string(), "processor");
+  EXPECT_EQ(docs[0].at("fault_target").as_number(), 2.0);
+  EXPECT_TRUE(docs[0].at("permanent").as_bool());
+  EXPECT_EQ(docs[0].at("time").as_number(), 41.5);
+  EXPECT_EQ(docs[0].at("algorithm").as_string(), "OIHSA");
+  EXPECT_EQ(docs[0].at("tasks_remaining").as_number(), 7.0);
+  EXPECT_EQ(docs[0].at("replan_makespan").as_number(), 88.25);
+}
+
+TEST(DecisionLog, ExecutorLogsRecoveryDecisionsWhenInstalled) {
+  // End-to-end: a rescheduling execution records its replan decision in
+  // the active log.
+  Rng rng(9);
+  dag::LayeredDagParams params;
+  params.num_tasks = 14;
+  const dag::TaskGraph graph = dag::random_layered(params, rng);
+  const net::Topology topo =
+      net::switched_star(3, net::SpeedConfig{}, rng);
+  const sched::Schedule schedule =
+      sched::make_scheduler("oihsa")->schedule(graph, topo);
+  exec::ExecutionOptions options;
+  options.policy = exec::RecoveryPolicy::kReschedule;
+  options.faults.fail_processor(schedule.makespan() * 0.4,
+                                topo.processors().front(), true);
+
+  DecisionLog log;
+  {
+    ScopedDecisionLog scoped(log);
+    const exec::ExecutionReport report =
+        exec::execute(graph, topo, schedule, options);
+    ASSERT_TRUE(report.completed) << report.failure;
+    ASSERT_GE(report.reschedules, 1u);
+  }
+  const std::vector<RecoveryDecision> recoveries = log.recovery_decisions();
+  ASSERT_GE(recoveries.size(), 1u);
+  const RecoveryDecision& logged = recoveries.front();
+  EXPECT_EQ(logged.policy, "reschedule");
+  EXPECT_EQ(logged.action, "reschedule");
+  EXPECT_EQ(logged.fault_kind, "processor");
+  EXPECT_TRUE(logged.permanent);
+  EXPECT_GT(logged.replan_makespan, 0.0);
 }
 
 TEST(DecisionLog, ScopedInstallNestsAndRestores) {
