@@ -28,6 +28,7 @@
 #include "obs/bench_report.hpp"
 #include "obs/counters.hpp"
 #include "obs/decision_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace edgesched::bench {
@@ -67,6 +68,12 @@ class TelemetryScope {
       *argc = out;
     }
     obs::Tracer::instance().set_mode(mode);
+    if (mode == obs::TraceMode::kDisabled) {
+      // Micros measure the disabled observability path: the always-on
+      // flight recorder pauses too, so the ≤2% overhead envelope covers
+      // "tracer + recorder off" (docs/observability.md).
+      recorder_pause_.emplace();
+    }
     if (!decisions_path_.empty()) {
       decisions_out_.open(decisions_path_);
       if (!decisions_out_) {
@@ -130,6 +137,7 @@ class TelemetryScope {
   std::ofstream decisions_out_;
   std::optional<obs::DecisionLog> decision_log_;
   std::optional<obs::ScopedDecisionLog> scoped_log_;
+  std::optional<obs::ScopedFlightRecorderPause> recorder_pause_;
   std::optional<obs::BenchReport> report_;
 };
 

@@ -16,7 +16,8 @@
 //                 [--recovery fail-stop|retry|reschedule]
 //                 [--recovery-algorithm NAME]
 //                 [--dispatch timetable|event-driven]
-//                 [--report-json FILE]
+//                 [--report-json FILE] [--postmortem FILE]
+//                 [--merged-trace FILE] [--metrics-json FILE]
 //
 // The `run` subcommand schedules the instance, then executes the plan in
 // virtual time under duration jitter (U(1±jitter)) and hazard-sampled
@@ -24,6 +25,19 @@
 // predicted makespans), printing the achieved-vs-predicted summary.
 // `--report-json` writes the full ExecutionReport document ("-" =
 // stdout).
+//
+// Observability (both modes; every artifact of one invocation carries
+// the same run_id, so they cross-correlate):
+//   --trace FILE      runtime tracer (full mode) Chrome trace of the
+//                     algorithm/executor running
+//   --decisions FILE  streaming decision-log JSONL
+//   --metrics FILE    scheduler counter dump (text exposition)
+// `run`-only artifacts:
+//   --metrics-json FILE   obs::MetricsSnapshot JSON document
+//   --postmortem FILE     flight-recorder dump of the run
+//   --merged-trace FILE   planned/executed/faults merged Perfetto
+//                         timeline (exec/trace_merge)
+// All FILE arguments accept "-" for stdout.
 //
 // Algorithm names come from the central registry (sched/registry.hpp);
 // `--list-algorithms` prints every key with its policy bundle.
@@ -34,15 +48,24 @@
 //   edgesched_cli run --graph wf.txt --wan 16 --algorithm oihsa
 //                 --jitter 0.2 --fault-rate 0.001 --recovery reschedule
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "dag/properties.hpp"
 #include "dag/serialization.hpp"
 #include "exec/executor.hpp"
+#include "exec/trace_merge.hpp"
 #include "net/builders.hpp"
 #include "net/serialization.hpp"
+#include "obs/counters.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_snapshot.hpp"
+#include "obs/run_context.hpp"
+#include "obs/trace.hpp"
 #include "sched/metrics.hpp"
 #include "sched/registry.hpp"
 #include "sched/trace_export.hpp"
@@ -77,6 +100,15 @@ struct Args {
   std::string recovery_algorithm;
   std::string dispatch = "timetable";
   std::string report_json;  ///< "" = none, "-" = stdout
+
+  // Observability artifacts ("" = none, "-" = stdout).
+  std::string trace_file;      ///< runtime tracer Chrome trace
+  std::string decisions_file;  ///< streaming decision-log JSONL
+  std::string metrics_file;    ///< counter text dump
+  // `run`-only artifacts.
+  std::string metrics_json_file;  ///< MetricsSnapshot JSON
+  std::string postmortem_file;    ///< flight-recorder dump
+  std::string merged_trace_file;  ///< planned/executed merged timeline
 };
 
 [[noreturn]] void usage(const std::string& error = {}) {
@@ -97,7 +129,10 @@ struct Args {
          "         [--recovery fail-stop|retry|reschedule]\n"
          "         [--recovery-algorithm NAME]\n"
          "         [--dispatch timetable|event-driven]\n"
-         "         [--report-json FILE]\n"
+         "         [--report-json FILE] [--postmortem FILE]\n"
+         "         [--merged-trace FILE] [--metrics-json FILE]\n"
+         "observability (both modes, \"-\" = stdout):\n"
+         "         [--trace FILE] [--decisions FILE] [--metrics FILE]\n"
          "algorithms (see --list-algorithms for the policy bundles):\n"
          "  ";
   bool first = true;
@@ -170,6 +205,18 @@ Args parse(int argc, char** argv) {
       args.dispatch = next(i);
     } else if (args.run && flag == "--report-json") {
       args.report_json = next(i);
+    } else if (flag == "--trace") {
+      args.trace_file = next(i);
+    } else if (flag == "--decisions") {
+      args.decisions_file = next(i);
+    } else if (flag == "--metrics") {
+      args.metrics_file = next(i);
+    } else if (args.run && flag == "--metrics-json") {
+      args.metrics_json_file = next(i);
+    } else if (args.run && flag == "--postmortem") {
+      args.postmortem_file = next(i);
+    } else if (args.run && flag == "--merged-trace") {
+      args.merged_trace_file = next(i);
     } else if (flag == "--help" || flag == "-h") {
       usage();
     } else {
@@ -234,6 +281,23 @@ std::unique_ptr<sched::Scheduler> make_scheduler(const Args& args) {
   usage("unknown algorithm " + args.algorithm);
 }
 
+/// Opens `path` ("-" = stdout) and hands the stream to `fn`; false with
+/// a message on stderr when the file cannot be opened.
+bool write_artifact(const std::string& path,
+                    const std::function<void(std::ostream&)>& fn) {
+  if (path == "-") {
+    fn(std::cout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  fn(out);
+  return true;
+}
+
 int run_schedule(const Args& args, const dag::TaskGraph& graph,
                  const net::Topology& topology,
                  const sched::Schedule& schedule) {
@@ -259,53 +323,127 @@ int run_schedule(const Args& args, const dag::TaskGraph& graph,
   const exec::ExecutionReport report =
       exec::execute(graph, topology, schedule, options);
   std::cout << report.summary() << "\n";
+
+  bool ok = true;
   if (!args.report_json.empty()) {
-    if (args.report_json == "-") {
-      std::cout << report.to_json().dump() << "\n";
-    } else {
-      std::ofstream out(args.report_json);
-      if (!out) {
-        std::cerr << "error: cannot write " << args.report_json << "\n";
-        return 1;
-      }
-      out << report.to_json().dump() << "\n";
-    }
+    ok &= write_artifact(args.report_json, [&](std::ostream& os) {
+      os << report.to_json().dump() << "\n";
+    });
+  }
+  if (!args.metrics_json_file.empty()) {
+    ok &= write_artifact(args.metrics_json_file, [](std::ostream& os) {
+      os << obs::MetricsSnapshot::capture(obs::global_metrics())
+                .to_json()
+                .dump()
+         << "\n";
+    });
+  }
+  if (!args.merged_trace_file.empty()) {
+    ok &= write_artifact(args.merged_trace_file, [&](std::ostream& os) {
+      exec::write_merged_trace(os, graph, topology, schedule, report);
+    });
+  }
+  if (!args.postmortem_file.empty()) {
+    ok &= write_artifact(args.postmortem_file, [](std::ostream& os) {
+      obs::flight_recorder().write_postmortem(os, "cli_request");
+    });
+  }
+  if (!ok) {
+    return 1;
   }
   return report.completed ? 0 : 3;
+}
+
+int invoke(const Args& args) {
+  const dag::TaskGraph graph = load_graph(args);
+  const net::Topology topology = load_topology(args);
+  const auto scheduler = make_scheduler(args);
+  const sched::Schedule schedule = scheduler->schedule(graph, topology);
+  try {
+    sched::validate_or_throw(graph, topology, schedule);
+  } catch (...) {
+    // Black-box dump on validator failure (written only when
+    // EDGESCHED_POSTMORTEM_DIR is set).
+    obs::flight_recorder().maybe_write_postmortem("validator_failure");
+    throw;
+  }
+
+  if (args.run) {
+    return run_schedule(args, graph, topology, schedule);
+  }
+  if (args.output == "schedule") {
+    std::cout << schedule.to_string(graph, topology);
+  } else if (args.output == "metrics") {
+    std::cout << sched::to_string(
+        sched::compute_metrics(graph, topology, schedule));
+  } else if (args.output == "gantt") {
+    sched::write_ascii_gantt(std::cout, graph, topology, schedule);
+  } else if (args.output == "trace") {
+    sched::write_chrome_trace(std::cout, graph, topology, schedule);
+  } else if (args.output == "dot") {
+    dag::write_dot(std::cout, graph);
+  } else {
+    usage("unknown output " + args.output);
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
-  try {
-    const dag::TaskGraph graph = load_graph(args);
-    const net::Topology topology = load_topology(args);
-    const auto scheduler = make_scheduler(args);
-    const sched::Schedule schedule =
-        scheduler->schedule(graph, topology);
-    sched::validate_or_throw(graph, topology, schedule);
 
-    if (args.run) {
-      return run_schedule(args, graph, topology, schedule);
+  // One run scope for the whole invocation: every trace span, decision
+  // line, flight entry and the execution report carry the same run_id
+  // (always 1 here — the CLI mints the process's first ID, which keeps
+  // same-seed artifact dumps byte-identical).
+  const obs::ScopedRunId run_scope(obs::mint_run_id());
+
+  // Declaration order matters: the scope uninstalls before the log and
+  // its sink stream destruct.
+  std::optional<std::ofstream> decisions_out;
+  std::optional<obs::DecisionLog> decision_log;
+  std::optional<obs::ScopedDecisionLog> decision_scope;
+  if (!args.decisions_file.empty()) {
+    std::ostream* sink = &std::cout;
+    if (args.decisions_file != "-") {
+      decisions_out.emplace(args.decisions_file);
+      if (!*decisions_out) {
+        std::cerr << "error: cannot write " << args.decisions_file << "\n";
+        return 1;
+      }
+      sink = &*decisions_out;
     }
-    if (args.output == "schedule") {
-      std::cout << schedule.to_string(graph, topology);
-    } else if (args.output == "metrics") {
-      std::cout << sched::to_string(
-          sched::compute_metrics(graph, topology, schedule));
-    } else if (args.output == "gantt") {
-      sched::write_ascii_gantt(std::cout, graph, topology, schedule);
-    } else if (args.output == "trace") {
-      sched::write_chrome_trace(std::cout, graph, topology, schedule);
-    } else if (args.output == "dot") {
-      dag::write_dot(std::cout, graph);
-    } else {
-      usage("unknown output " + args.output);
-    }
+    decision_log.emplace(*sink);
+    decision_scope.emplace(*decision_log);
+  }
+  if (!args.trace_file.empty()) {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_mode(obs::TraceMode::kFull);
+  }
+
+  int status = 0;
+  try {
+    status = invoke(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    status = 1;
   }
-  return 0;
+
+  if (!args.trace_file.empty()) {
+    if (!write_artifact(args.trace_file, [](std::ostream& os) {
+          obs::Tracer::instance().write_chrome_trace(os);
+        })) {
+      status = status == 0 ? 1 : status;
+    }
+    obs::Tracer::instance().set_mode(obs::TraceMode::kDisabled);
+  }
+  if (!args.metrics_file.empty()) {
+    if (!write_artifact(args.metrics_file, [](std::ostream& os) {
+          os << obs::global_metrics().text_dump();
+        })) {
+      status = status == 0 ? 1 : status;
+    }
+  }
+  return status;
 }

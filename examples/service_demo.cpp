@@ -4,14 +4,19 @@
 // several workflows × several algorithms, each submitted multiple times —
 // and prints the resulting cache-hit report and metrics dump. Usage:
 //
-//   service_demo [--trace <file>] [--metrics] [threads] [rounds]
+//   service_demo [--trace <file>] [--metrics] [--snapshots <file>]
+//                [threads] [rounds]
 //
 // `threads` defaults to the hardware concurrency, `rounds` (how many
 // times the whole request mix is resubmitted) to 3; every round after the
 // first is served entirely from the schedule cache. `--trace` records the
 // run with the obs tracer and writes a Chrome trace-event JSON (load it
 // in Perfetto to see the pool workers executing scheduler phases);
-// `--metrics` appends the global hot-path counter dump.
+// `--metrics` appends the global hot-path counter dump. `--snapshots`
+// runs an obs::PeriodicSnapshotter over the service's metrics registry
+// for the demo's duration, appending one metrics-snapshot JSON document
+// per line (at least one line is always written).
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -21,9 +26,12 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "dag/generators.hpp"
 #include "net/builders.hpp"
 #include "obs/counters.hpp"
+#include "obs/metrics_snapshot.hpp"
 #include "obs/trace.hpp"
 #include "svc/scheduler_service.hpp"
 #include "util/rng.hpp"
@@ -32,11 +40,14 @@ using namespace edgesched;
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string snapshots_path;
   bool dump_metrics = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshots") == 0 && i + 1 < argc) {
+      snapshots_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
     } else {
@@ -85,6 +96,22 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> algorithms = {"ba", "oihsa", "bbsa"};
 
+  // The snapshotter samples the service's registry while the burst runs;
+  // its destructor after the loop always appends one final snapshot, so
+  // the JSONL file is never empty even for very short demos.
+  std::ofstream snapshots_out;
+  std::optional<obs::PeriodicSnapshotter> snapshotter;
+  if (!snapshots_path.empty()) {
+    snapshots_out.open(snapshots_path);
+    if (!snapshots_out) {
+      std::cerr << "cannot open " << snapshots_path << "\n";
+      return 1;
+    }
+    snapshotter.emplace(service.metrics(), snapshots_out,
+                        obs::SnapshotterOptions{
+                            .interval = std::chrono::milliseconds(50)});
+  }
+
   for (std::size_t round = 0; round < rounds; ++round) {
     std::vector<std::future<svc::SchedulerService::SchedulePtr>> futures;
     for (const auto& graph : graphs) {
@@ -104,6 +131,11 @@ int main(int argc, char** argv) {
               << std::setprecision(2) << makespan_sum
               << ", cache hits so far " << stats.hits << "/"
               << stats.hits + stats.misses << "\n";
+  }
+
+  if (snapshotter) {
+    snapshotter.reset();  // joins the thread and writes the final line
+    std::cout << "\nwrote snapshots " << snapshots_path << "\n";
   }
 
   const svc::CacheStats stats = service.cache().stats();

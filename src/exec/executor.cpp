@@ -16,6 +16,8 @@
 #include "exec/recovery.hpp"
 #include "obs/counters.hpp"
 #include "obs/decision_log.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/run_context.hpp"
 #include "obs/trace.hpp"
 #include "sched/registry.hpp"
 #include "sched/scheduler.hpp"
@@ -245,6 +247,12 @@ void log_recovery(const ExecutionOptions& options, const char* action,
                   const FaultEvent* fault, double time,
                   const std::string& algorithm, std::uint32_t remaining,
                   double replan_makespan) {
+  // The flight recorder sees every recovery choice whether or not a
+  // decision log is installed — that is its whole point.
+  obs::flight_recorder().record(
+      std::string_view(action) == "abort" ? obs::FlightEventKind::kAbort
+                                          : obs::FlightEventKind::kRecovery,
+      action, time, remaining, replan_makespan);
   obs::DecisionLog* log = obs::active_decision_log();
   if (log == nullptr) {
     return;
@@ -813,6 +821,11 @@ class Round {
     report_.faults.push_back(FaultRecord{
         now, fe.kind == FaultKind::kProcessor ? "processor" : "link",
         fe.target, fe.permanent, fe.permanent ? 0.0 : fe.repair, killed});
+    obs::flight_recorder().record(
+        obs::FlightEventKind::kFault,
+        fe.kind == FaultKind::kProcessor ? "exec/fault_processor"
+                                         : "exec/fault_link",
+        now, fe.target, static_cast<double>(killed));
 
     if (options_.policy == RecoveryPolicy::kFailStop) {
       if (fe.permanent || killed > 0) {
@@ -1013,6 +1026,11 @@ ExecutionReport execute(const dag::TaskGraph& graph,
                         const net::Topology& topology,
                         const sched::Schedule& schedule,
                         const ExecutionOptions& options) {
+  // Reuse the caller's run scope (service job, CLI) so the report and every
+  // event recorded below correlate. Bare calls stay at kNoRun: minting here
+  // would make same-seed reports differ byte-wise, breaking determinism
+  // guarantee 2 (docs/runtime.md).
+  const obs::ScopedRunId run_scope(obs::current_run_id());
   obs::Span span("exec/execute", "exec");
   options.model.validate();
   options.faults.validate(topology);
@@ -1028,8 +1046,12 @@ ExecutionReport execute(const dag::TaskGraph& graph,
 
   const RuntimeSampler sampler(options.model);
   ExecutionReport report;
+  report.run_id = obs::current_run_id();
   report.algorithm = schedule.algorithm();
   report.predicted_makespan = schedule.makespan();
+  obs::flight_recorder().record(obs::FlightEventKind::kExecStart,
+                                "exec/execute", 0.0, graph.num_tasks(),
+                                schedule.makespan());
   report.tasks.resize(graph.num_tasks());
   for (std::size_t i = 0; i < graph.num_tasks(); ++i) {
     const sched::TaskPlacement& placement =
@@ -1093,6 +1115,9 @@ ExecutionReport execute(const dag::TaskGraph& graph,
     hot.exec_events.increment(report.events - events_before);
     hot.exec_faults.increment(report.faults_injected - faults_before);
     hot.exec_retries.increment(report.retries - retries_before);
+    obs::flight_recorder().record(obs::FlightEventKind::kExecRound,
+                                  "exec/round", rr.time, report.reschedules,
+                                  static_cast<double>(report.events));
 
     if (rr.outcome == RoundOutcome::kCompleted) {
       report.completed = true;
@@ -1258,6 +1283,16 @@ ExecutionReport execute(const dag::TaskGraph& graph,
   }
 
   report.finalise();
+  obs::flight_recorder().record(obs::FlightEventKind::kExecEnd,
+                                "exec/execute", report.achieved_makespan,
+                                report.completed ? 1 : 0,
+                                report.achieved_makespan);
+  if (!report.completed) {
+    // Black-box dump on any failed execution (fail-stop abort, retry or
+    // reschedule exhaustion, replan/validator failure). Written only
+    // when EDGESCHED_POSTMORTEM_DIR is set.
+    obs::flight_recorder().maybe_write_postmortem("execution_failed");
+  }
   return report;
 }
 

@@ -63,6 +63,7 @@ obs::JsonValue ExecutionReport::to_json() const {
   }
   return obs::JsonValue::object()
       .set("type", JsonValue("execution_report"))
+      .set("run_id", JsonValue(run_id))
       .set("algorithm", JsonValue(algorithm))
       .set("completed", JsonValue(completed))
       .set("failure", JsonValue(failure))

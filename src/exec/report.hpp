@@ -55,6 +55,11 @@ struct ExecutionReport {
   bool completed = false;
   std::string failure;  ///< human-readable reason when !completed
 
+  /// Correlating run ID (obs/run_context): the same value stamped on
+  /// trace spans, decision-log lines and flight-recorder entries of this
+  /// execution. 0 when the run executed outside any run scope.
+  std::uint64_t run_id = 0;
+
   double predicted_makespan = 0.0;
   double achieved_makespan = 0.0;
   /// achieved / predicted; 0 when the predicted makespan is 0.

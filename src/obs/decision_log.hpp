@@ -18,6 +18,11 @@
 // order). With a sink stream attached the log streams each line instead
 // of storing it — constant memory for arbitrarily long runs.
 //
+// Run correlation: `record` stamps each decision with the thread's
+// current run ID (obs/run_context) when the caller left `run` at 0, and
+// the JSONL gains a `"run":N` member for stamped records — so one log
+// absorbing a parallel sweep still attributes every line to its run.
+//
 // JSONL schema (one object per line, `type` discriminates; full schema
 // reference in docs/observability.md):
 //   {"type":"task","algorithm":"OIHSA","task":3,"chosen_processor":1,
@@ -53,6 +58,7 @@ struct TaskDecision {
   std::uint32_t chosen_processor = 0;
   double chosen_estimate = 0.0;
   std::vector<ProcessorCandidate> candidates;  ///< in evaluation order
+  std::uint64_t run = 0;  ///< correlating run ID (filled by record())
 };
 
 /// One link occupation of a routed edge.
@@ -73,6 +79,7 @@ struct EdgeDecision {
   double arrival = 0.0;    ///< when the destination has the data
   std::vector<EdgeHop> hops;  ///< per-link tentative finish times; empty
                               ///< when local
+  std::uint64_t run = 0;  ///< correlating run ID (filled by record())
 };
 
 /// One runtime recovery choice of the discrete-event executor (src/exec):
@@ -92,6 +99,7 @@ struct RecoveryDecision {
   std::string algorithm;        ///< replanning algorithm ("" for retries)
   std::uint32_t tasks_remaining = 0;
   double replan_makespan = 0.0; ///< sub-schedule makespan (0 for retries)
+  std::uint64_t run = 0;  ///< correlating run ID (filled by record())
 };
 
 /// Outcome of one optimal-insertion commit on one link (§4.4).
@@ -103,6 +111,7 @@ struct InsertionDecision {
   double slack_consumed = 0.0; ///< total time the displaced slots moved
   double start = 0.0;
   double finish = 0.0;
+  std::uint64_t run = 0;  ///< correlating run ID (filled by record())
 };
 
 class DecisionLog {

@@ -1,0 +1,203 @@
+#include "obs/metrics_snapshot.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace edgesched::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_sequence{1};
+
+/// Prometheus renders `le` bounds and sample values with the shortest
+/// round-trip format; ostream default formatting (6 significant digits)
+/// is stable and good enough for power-of-two bounds.
+std::string format_double(double value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::capture(
+    const svc::MetricsRegistry& registry) {
+  MetricsSnapshot snapshot;
+  snapshot.sequence = g_next_sequence.fetch_add(1, std::memory_order_relaxed);
+  snapshot.counters = registry.counter_values();
+  snapshot.histograms = registry.histogram_data();
+  return snapshot;
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  delta.sequence = sequence;
+  for (const auto& [name, value] : counters) {
+    std::uint64_t base = 0;
+    if (const auto it = earlier.counters.find(name);
+        it != earlier.counters.end()) {
+      base = it->second;
+    }
+    delta.counters[name] = value >= base ? value - base : 0;
+  }
+  for (const auto& [name, data] : histograms) {
+    svc::MetricsRegistry::HistogramData base;
+    if (const auto it = earlier.histograms.find(name);
+        it != earlier.histograms.end()) {
+      base = it->second;
+    }
+    svc::MetricsRegistry::HistogramData diff;
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+      diff.buckets[i] = data.buckets[i] >= base.buckets[i]
+                            ? data.buckets[i] - base.buckets[i]
+                            : 0;
+    }
+    diff.count = data.count >= base.count ? data.count - base.count : 0;
+    diff.sum = data.sum >= base.sum ? data.sum - base.sum : 0.0;
+    delta.histograms.emplace(name, diff);
+  }
+  return delta;
+}
+
+double MetricsSnapshot::quantile(
+    const svc::MetricsRegistry::HistogramData& data, double q) noexcept {
+  // Mirror of svc::Histogram::quantile over frozen buckets.
+  std::uint64_t total = 0;
+  for (const std::uint64_t in_bucket : data.buckets) {
+    total += in_bucket;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  const auto& bounds = svc::Histogram::kUpperBounds;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+    const std::uint64_t in_bucket = data.buckets[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= rank) {
+      if (i >= bounds.size()) {
+        return bounds.back();  // +inf bucket clamps
+      }
+      const double upper = bounds[i];
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double position = static_cast<double>(rank - cumulative) /
+                              static_cast<double>(in_bucket);
+      return lower + (upper - lower) * position;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) {
+    os << "# TYPE " << name << " counter\n";
+    os << name << ' ' << value << '\n';
+  }
+  const auto& bounds = svc::Histogram::kUpperBounds;
+  for (const auto& [name, data] : histograms) {
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += data.buckets[i];
+      os << name << "_bucket{le=\"" << format_double(bounds[i]) << "\"} "
+         << cumulative << '\n';
+    }
+    cumulative += data.buckets[bounds.size()];
+    os << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    os << name << "_count " << data.count << '\n';
+    os << name << "_sum " << format_double(data.sum) << '\n';
+    // Non-standard convenience lines; scrapers that only understand the
+    // histogram type ignore unknown series.
+    os << name << "{quantile=\"0.5\"} " << format_double(quantile(data, 0.50))
+       << '\n';
+    os << name << "{quantile=\"0.95\"} " << format_double(quantile(data, 0.95))
+       << '\n';
+    os << name << "{quantile=\"0.99\"} " << format_double(quantile(data, 0.99))
+       << '\n';
+  }
+  return os.str();
+}
+
+JsonValue MetricsSnapshot::to_json() const {
+  JsonValue counters_json = JsonValue::object();
+  for (const auto& [name, value] : counters) {
+    counters_json.set(name, JsonValue(value));
+  }
+  JsonValue histograms_json = JsonValue::object();
+  for (const auto& [name, data] : histograms) {
+    JsonValue buckets = JsonValue::array();
+    for (const std::uint64_t in_bucket : data.buckets) {
+      buckets.push(JsonValue(in_bucket));
+    }
+    histograms_json.set(name,
+                        JsonValue::object()
+                            .set("count", JsonValue(data.count))
+                            .set("sum", JsonValue(data.sum))
+                            .set("buckets", std::move(buckets))
+                            .set("p50", JsonValue(quantile(data, 0.50)))
+                            .set("p95", JsonValue(quantile(data, 0.95)))
+                            .set("p99", JsonValue(quantile(data, 0.99))));
+  }
+  return JsonValue::object()
+      .set("type", JsonValue("metrics_snapshot"))
+      .set("sequence", JsonValue(sequence))
+      .set("counters", std::move(counters_json))
+      .set("histograms", std::move(histograms_json));
+}
+
+void write_snapshot_line(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << snapshot.to_json().dump() << '\n';
+}
+
+PeriodicSnapshotter::PeriodicSnapshotter(const svc::MetricsRegistry& registry,
+                                         std::ostream& os, Options options)
+    : registry_(registry), os_(os), options_(options) {
+  thread_ = std::thread([this] { run(); });
+}
+
+PeriodicSnapshotter::~PeriodicSnapshotter() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  write_once();  // final line: short runs still leave one snapshot behind
+}
+
+void PeriodicSnapshotter::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    write_once();
+    lock.lock();
+  }
+}
+
+void PeriodicSnapshotter::write_once() {
+  const MetricsSnapshot current = MetricsSnapshot::capture(registry_);
+  if (options_.deltas) {
+    write_snapshot_line(os_, current.delta_since(previous_));
+    previous_ = current;
+  } else {
+    write_snapshot_line(os_, current);
+  }
+  written_.fetch_add(1, std::memory_order_relaxed);
+  os_.flush();
+}
+
+}  // namespace edgesched::obs

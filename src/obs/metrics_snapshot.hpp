@@ -1,0 +1,124 @@
+// Point-in-time metrics exposition: snapshot, delta, Prometheus text,
+// JSON, and a periodic JSONL snapshotter for long-running services.
+//
+// `MetricsRegistry` answers "what are the totals right now"; this module
+// turns that into production artifacts:
+//
+//   * `MetricsSnapshot::capture(registry)` — a consistent-enough copy of
+//     every counter and full histogram (buckets, count, sum) at one
+//     moment, tagged with a monotonically increasing sequence number.
+//   * `delta_since(earlier)` — the traffic between two snapshots
+//     (counter differences, per-bucket histogram differences), which is
+//     what a scrape-interval rate wants.
+//   * `to_prometheus()` — text exposition format (`# TYPE` comments,
+//     `_bucket{le=...}`, `_count`, `_sum`, plus non-standard
+//     `{quantile=...}` gauge lines for p50/p95/p99).
+//   * `to_json()` — the same data as one obs/json document, the shape
+//     the CLI's `--metrics-json` writes and `tools/check_json`
+//     validates in CI.
+//   * `PeriodicSnapshotter` — a background thread appending one
+//     JSON-per-line snapshot (full or delta) to a stream every interval,
+//     so a service exports its history without any scrape
+//     infrastructure.
+//
+// Determinism: a snapshot of deterministic counters serialises
+// byte-identically across same-seed runs (sorted maps, obs/json number
+// formatting). Sequence numbers are process-local.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "svc/metrics.hpp"
+
+namespace edgesched::obs {
+
+struct MetricsSnapshot {
+  /// Process-local capture sequence number (1, 2, ... in capture order;
+  /// 0 for default-constructed and delta snapshots).
+  std::uint64_t sequence = 0;
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, svc::MetricsRegistry::HistogramData> histograms;
+
+  /// Copies every metric of `registry` now.
+  [[nodiscard]] static MetricsSnapshot capture(
+      const svc::MetricsRegistry& registry);
+
+  /// The traffic between `earlier` and this snapshot: counter and
+  /// per-bucket differences (clamped at 0 if a metric was reset in
+  /// between). Metrics absent from `earlier` count from zero.
+  [[nodiscard]] MetricsSnapshot delta_since(
+      const MetricsSnapshot& earlier) const;
+
+  /// Prometheus text exposition format.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// One JSON document: {"type":"metrics_snapshot","sequence":N,
+  ///  "counters":{...},"histograms":{name:{"count","sum","buckets":[...],
+  ///  "p50","p95","p99"}}}.
+  [[nodiscard]] JsonValue to_json() const;
+
+  /// Estimated quantile of one captured histogram (same estimator as
+  /// svc::Histogram::quantile, applied to the frozen buckets).
+  [[nodiscard]] static double quantile(
+      const svc::MetricsRegistry::HistogramData& data, double q) noexcept;
+};
+
+/// Appends `snapshot.to_json()` (compact, one line) to `os`.
+void write_snapshot_line(std::ostream& os, const MetricsSnapshot& snapshot);
+
+struct SnapshotterOptions {
+  std::chrono::milliseconds interval{1000};
+  /// true: each line is the delta since the previous snapshot;
+  /// false: each line is the full running totals.
+  bool deltas = false;
+};
+
+/// Background thread writing one snapshot line per interval.
+class PeriodicSnapshotter {
+ public:
+  using Options = SnapshotterOptions;
+
+  /// Starts snapshotting `registry` into `os` immediately (the first
+  /// line is written after one interval). The stream and registry must
+  /// outlive this object.
+  PeriodicSnapshotter(const svc::MetricsRegistry& registry, std::ostream& os,
+                      Options options = {});
+
+  /// Stops the thread and writes one final snapshot line (so short runs
+  /// always leave at least one line behind).
+  ~PeriodicSnapshotter();
+
+  PeriodicSnapshotter(const PeriodicSnapshotter&) = delete;
+  PeriodicSnapshotter& operator=(const PeriodicSnapshotter&) = delete;
+
+  /// Lines written so far.
+  [[nodiscard]] std::uint64_t snapshots_written() const noexcept {
+    return written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void write_once();
+
+  const svc::MetricsRegistry& registry_;
+  std::ostream& os_;
+  Options options_;
+  MetricsSnapshot previous_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> written_{0};
+  std::thread thread_;
+};
+
+}  // namespace edgesched::obs

@@ -1,0 +1,19 @@
+#include "obs/run_context.hpp"
+
+#include <atomic>
+
+namespace edgesched::obs {
+
+namespace detail {
+thread_local std::uint64_t t_current_run_id = kNoRun;
+}  // namespace detail
+
+namespace {
+std::atomic<std::uint64_t> g_next_run_id{1};
+}  // namespace
+
+std::uint64_t mint_run_id() noexcept {
+  return g_next_run_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace edgesched::obs

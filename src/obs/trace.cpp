@@ -173,8 +173,17 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
          << json_escape(event.category) << "\",\"ph\":\"X\",\"pid\":1,"
          << "\"tid\":" << buffer->tid << ",\"ts\":" << ts << ",\"dur\":"
          << dur;
-      if (event.arg != kNoArg) {
-        os << ",\"args\":{\"id\":" << event.arg << '}';
+      if (event.arg != kNoArg || event.run_id != 0) {
+        os << ",\"args\":{";
+        bool first_arg = true;
+        if (event.arg != kNoArg) {
+          os << "\"id\":" << event.arg;
+          first_arg = false;
+        }
+        if (event.run_id != 0) {
+          os << (first_arg ? "" : ",") << "\"run_id\":" << event.run_id;
+        }
+        os << '}';
       }
       os << '}';
     }
@@ -194,6 +203,7 @@ void Span::finish() noexcept {
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
           .count();
   event.arg = arg_;
+  event.run_id = run_id_;
   // A span that straddles a disable still records: losing the event would
   // be more surprising than one extra entry.
   Tracer::instance().record(event);

@@ -33,6 +33,8 @@
 #include <map>
 #include <string>
 
+#include "obs/run_context.hpp"
+
 namespace edgesched::obs {
 
 enum class TraceMode : int { kDisabled = 0, kAggregate = 1, kFull = 2 };
@@ -57,6 +59,7 @@ struct TraceEvent {
   std::int64_t start_ns = 0;       ///< steady-clock nanoseconds
   std::int64_t duration_ns = 0;
   std::uint64_t arg = kNoArg;  ///< optional payload (task/edge id, ...)
+  std::uint64_t run_id = 0;    ///< correlating run (obs/run_context), 0 none
 };
 
 /// Aggregated statistics of one span name.
@@ -120,6 +123,7 @@ class Span {
       name_ = name;
       category_ = category;
       arg_ = arg;
+      run_id_ = current_run_id();
       start_ = std::chrono::steady_clock::now();
       active_ = true;
     }
@@ -148,6 +152,7 @@ class Span {
   const char* name_ = nullptr;
   const char* category_ = nullptr;
   std::uint64_t arg_ = kNoArg;
+  std::uint64_t run_id_ = 0;
   std::chrono::steady_clock::time_point start_{};
   bool active_ = false;
 };

@@ -9,6 +9,7 @@
 #include "net/routing.hpp"
 #include "obs/counters.hpp"
 #include "obs/decision_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 #include "sched/network_model.hpp"
 #include "sched/network_state.hpp"
@@ -139,6 +140,11 @@ Schedule ListSchedulingEngine::run(const dag::TaskGraph& graph,
   if (edges_routed > 0) {
     counters.edges_routed.increment(edges_routed);
   }
+  // One coarse flight-recorder milestone per schedule() call — not per
+  // task or edge — so the always-on recorder stays off the hot path.
+  obs::flight_recorder().record(obs::FlightEventKind::kSchedule,
+                                names_.schedule, out.makespan(),
+                                graph.num_tasks(), out.makespan());
   return out;
 }
 

@@ -1,16 +1,27 @@
 #include "svc/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace edgesched::svc {
 
 void Histogram::observe(double seconds) noexcept {
-  std::size_t bucket = kUpperBounds.size();  // +inf by default
-  for (std::size_t i = 0; i < kUpperBounds.size(); ++i) {
-    if (seconds <= kUpperBounds[i]) {
-      bucket = i;
-      break;
+  // O(1) bucket lookup: for s in (2^(e-1), 2^e] the winning bound is
+  // 2^e; frexp gives s = m * 2^e with m in [0.5, 1), so the bound
+  // exponent is e unless s sits exactly on the lower power of two.
+  std::size_t bucket;
+  if (!(seconds > kUpperBounds.front())) {  // also catches <= 0 and NaN
+    bucket = 0;
+  } else if (seconds > kUpperBounds.back()) {
+    bucket = kUpperBounds.size();  // +inf
+  } else {
+    int exponent = 0;
+    const double mantissa = std::frexp(seconds, &exponent);
+    if (mantissa == 0.5) {
+      --exponent;  // exactly 2^(e-1): it belongs in the lower bucket
     }
+    bucket = static_cast<std::size_t>(exponent - kMinExponent);
   }
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -28,6 +39,42 @@ std::uint64_t Histogram::cumulative_le(std::size_t i) const noexcept {
     total += bucket(b);
   }
   return total;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) {
+    return 0.0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  } else if (q > 1.0) {
+    q = 1.0;
+  }
+  // Rank of the target observation, 1-based (q = 0 -> first, q = 1 ->
+  // last), then a cumulative walk to the bucket holding it.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= rank) {
+      if (i >= kUpperBounds.size()) {
+        return kUpperBounds.back();  // +inf bucket clamps
+      }
+      const double upper = kUpperBounds[i];
+      const double lower = i == 0 ? 0.0 : kUpperBounds[i - 1];
+      // Observations spread uniformly inside the bucket for estimation.
+      const double position = static_cast<double>(rank - cumulative) /
+                              static_cast<double>(in_bucket);
+      return lower + (upper - lower) * position;
+    }
+    cumulative += in_bucket;
+  }
+  return kUpperBounds.back();
 }
 
 void Histogram::reset() noexcept {
@@ -76,6 +123,12 @@ std::string MetricsRegistry::text_dump() const {
          << ' ' << histogram->cumulative_le(i) << '\n';
     }
     os << "histogram " << name << " le +inf " << histogram->count() << '\n';
+    os << "histogram " << name << " p50 " << histogram->quantile(0.50)
+       << '\n';
+    os << "histogram " << name << " p95 " << histogram->quantile(0.95)
+       << '\n';
+    os << "histogram " << name << " p99 " << histogram->quantile(0.99)
+       << '\n';
   };
   while (counter_it != counters_.end() ||
          histogram_it != histograms_.end()) {
@@ -108,6 +161,22 @@ MetricsRegistry::histogram_values() const {
   std::map<std::string, HistogramSummary> values;
   for (const auto& [name, histogram] : histograms_) {
     values[name] = HistogramSummary{histogram->count(), histogram->sum()};
+  }
+  return values;
+}
+
+std::map<std::string, MetricsRegistry::HistogramData>
+MetricsRegistry::histogram_data() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, HistogramData> values;
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramData data;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      data.buckets[i] = histogram->bucket(i);
+    }
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    values.emplace(name, data);
   }
   return values;
 }

@@ -1,14 +1,26 @@
 // Thread-safe service metrics: counters and latency histograms.
 //
-// A MetricsRegistry is a named set of monotonic counters and fixed-bucket
+// A MetricsRegistry is a named set of monotonic counters and log2-bucket
 // latency histograms that worker threads update wait-free (atomics only)
 // and that `text_dump()` renders in a Prometheus-style line format:
 //
 //   counter svc_requests_total 128
 //   histogram svc_schedule_seconds count 96 sum 1.73e+00
-//   histogram svc_schedule_seconds le 1e-05 0
+//   histogram svc_schedule_seconds le 9.53674e-07 0
 //   ...
 //   histogram svc_schedule_seconds le +inf 96
+//   histogram svc_schedule_seconds p50 0.0123
+//   histogram svc_schedule_seconds p95 0.0611
+//   histogram svc_schedule_seconds p99 0.102
+//
+// Bucket layout: powers of two from 2^-20 s (~0.95 µs) to 2^7 s (128 s),
+// one implicit +inf bucket — every factor-of-two band between a
+// microsecond and two minutes gets its own bucket, so there is no
+// decade-wide hole (the PR 2 layout jumped 1 s -> 100 s and collapsed
+// all 1–100 s latencies into one bucket) and `quantile()` estimates are
+// within one power of two of the true value (linear interpolation inside
+// the winning bucket does much better in practice; bounds tested in
+// tests/obs_metrics_quantile_test.cpp).
 //
 // Metric objects are created on first use and live as long as the
 // registry; the references returned by `counter()` / `histogram()` stay
@@ -43,14 +55,43 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// Latency histogram with decade buckets from 1 µs to 100 s. Values are
+namespace detail {
+
+/// Smallest histogram bucket bound exponent: 2^-20 s ~ 0.95 µs.
+inline constexpr int kHistogramMinExponent = -20;
+/// Largest finite histogram bucket bound exponent: 2^7 s = 128 s.
+inline constexpr int kHistogramMaxExponent = 7;
+inline constexpr std::size_t kHistogramNumBounds =
+    static_cast<std::size_t>(kHistogramMaxExponent - kHistogramMinExponent +
+                             1);
+
+constexpr std::array<double, kHistogramNumBounds> make_histogram_bounds() {
+  std::array<double, kHistogramNumBounds> bounds{};
+  double value = 1.0;
+  for (int e = 0; e > kHistogramMinExponent; --e) {
+    value /= 2.0;  // powers of two are exact in binary floating point
+  }
+  for (std::size_t i = 0; i < kHistogramNumBounds; ++i) {
+    bounds[i] = value;
+    value *= 2.0;
+  }
+  return bounds;
+}
+
+}  // namespace detail
+
+/// Latency histogram with log2 buckets from ~1 µs to 128 s. Values are
 /// seconds. Cumulative queries (`cumulative_le`) follow the Prometheus
 /// `le` convention.
 class Histogram {
  public:
-  /// Bucket upper bounds in seconds; one implicit +inf bucket follows.
-  static constexpr std::array<double, 8> kUpperBounds = {
-      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 100.0};
+  static constexpr int kMinExponent = detail::kHistogramMinExponent;
+  static constexpr int kMaxExponent = detail::kHistogramMaxExponent;
+
+  /// Bucket upper bounds in seconds (2^kMinExponent ... 2^kMaxExponent);
+  /// one implicit +inf bucket follows.
+  static constexpr std::array<double, detail::kHistogramNumBounds>
+      kUpperBounds = detail::make_histogram_bounds();
   static constexpr std::size_t kNumBuckets = kUpperBounds.size() + 1;
 
   void observe(double seconds) noexcept;
@@ -67,6 +108,12 @@ class Histogram {
   }
   /// Observations <= kUpperBounds[i] (cumulative, Prometheus `le`).
   [[nodiscard]] std::uint64_t cumulative_le(std::size_t i) const noexcept;
+
+  /// Estimated value at quantile `q` in [0, 1]: finds the bucket holding
+  /// the ceil(q * count)-th observation and interpolates linearly inside
+  /// it (0 when empty; the lower/upper bucket bound for q <= 0 / q >= 1
+  /// observations in the +inf bucket clamp to the largest finite bound).
+  [[nodiscard]] double quantile(double q) const noexcept;
 
   /// Zeroes all buckets, count and sum in place. Test/tooling use only.
   void reset() noexcept;
@@ -103,6 +150,18 @@ class MetricsRegistry {
   /// Current histogram summaries, sorted by name.
   [[nodiscard]] std::map<std::string, HistogramSummary> histogram_values()
       const;
+
+  /// Full point-in-time copy of one histogram: every bucket plus
+  /// count/sum. The consumer for snapshots/exposition (obs/metrics_snapshot).
+  struct HistogramData {
+    std::array<std::uint64_t, Histogram::kNumBuckets> buckets{};
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  /// Current full histogram copies, sorted by name. Buckets are read
+  /// without a global atomic snapshot: concurrent observes may straddle
+  /// the copy by one observation, which monitoring tolerates.
+  [[nodiscard]] std::map<std::string, HistogramData> histogram_data() const;
 
   /// Zeroes every metric in place without destroying it: references
   /// previously returned by `counter()` / `histogram()` stay valid, so

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/run_context.hpp"
 #include "sched/engine.hpp"
 #include "sched/registry.hpp"
 #include "sched/validator.hpp"
@@ -61,24 +63,36 @@ std::future<SchedulerService::SchedulePtr> SchedulerService::submit_scheduler(
   throw_if(topology == nullptr, "SchedulerService::submit: null topology");
   requests_.increment();
 
+  // Mint the run ID at submission time (not in the job body) so IDs are
+  // allocated in submission order — deterministic however the pool
+  // interleaves the work. A caller-installed run scope is reused.
+  const std::uint64_t caller_run = obs::current_run_id();
+  const std::uint64_t run_id =
+      caller_run != obs::kNoRun ? caller_run : obs::mint_run_id();
+
   // Key on the scheduler's structural fingerprint, not its display name:
   // two bundles named alike but differing in any policy cache apart.
   const std::uint64_t key =
       request_fingerprint(*graph, *topology, scheduler->fingerprint());
   if (SchedulePtr cached = cache_.get(key)) {
     cache_hits_.increment();
+    obs::flight_recorder().record(obs::FlightEventKind::kCache,
+                                  "svc/schedule", 0.0, 1);
     std::promise<SchedulePtr> ready;
     ready.set_value(std::move(cached));
     return ready.get_future();
   }
   cache_misses_.increment();
+  obs::flight_recorder().record(obs::FlightEventKind::kCache, "svc/schedule",
+                                0.0, 0);
 
   // shared_ptr<Scheduler> because the lambda must be copyable for
   // std::function (see ThreadPool::submit).
   std::shared_ptr<sched::Scheduler> shared_scheduler = std::move(scheduler);
-  return pool_.submit([this, key, graph = std::move(graph),
+  return pool_.submit([this, key, run_id, graph = std::move(graph),
                        topology = std::move(topology),
                        shared_scheduler]() -> SchedulePtr {
+    const obs::ScopedRunId run_scope(run_id);
     const auto start = std::chrono::steady_clock::now();
     try {
       auto schedule = std::make_shared<const sched::Schedule>(
@@ -90,6 +104,9 @@ std::future<SchedulerService::SchedulePtr> SchedulerService::submit_scheduler(
                            std::chrono::steady_clock::now() - start)
                            .count());
       cache_.put(key, schedule);
+      obs::flight_recorder().record(
+          obs::FlightEventKind::kJob, "svc/schedule", 0.0,
+          schedule->num_tasks(), schedule->makespan());
       return schedule;
     } catch (...) {
       failures_.increment();
@@ -115,22 +132,31 @@ std::future<SchedulerService::ExecutionPtr> SchedulerService::execute(
   Fingerprint request;
   request.mix(schedule->fingerprint());
   request.mix(options.fingerprint());
+  const std::uint64_t caller_run = obs::current_run_id();
+  const std::uint64_t run_id =
+      caller_run != obs::kNoRun ? caller_run : obs::mint_run_id();
+
   const std::uint64_t key =
       request_fingerprint(*graph, *topology, request.value());
   if (ExecutionPtr cached = exec_cache_.get(key)) {
     exec_cache_hits_.increment();
+    obs::flight_recorder().record(obs::FlightEventKind::kCache, "svc/execute",
+                                  0.0, 1);
     std::promise<ExecutionPtr> ready;
     ready.set_value(std::move(cached));
     return ready.get_future();
   }
   exec_cache_misses_.increment();
+  obs::flight_recorder().record(obs::FlightEventKind::kCache, "svc/execute",
+                                0.0, 0);
 
   auto shared_options =
       std::make_shared<const exec::ExecutionOptions>(std::move(options));
-  return pool_.submit([this, key, graph = std::move(graph),
+  return pool_.submit([this, key, run_id, graph = std::move(graph),
                        topology = std::move(topology),
                        schedule = std::move(schedule),
                        shared_options]() -> ExecutionPtr {
+    const obs::ScopedRunId run_scope(run_id);
     const auto start = std::chrono::steady_clock::now();
     try {
       auto report = std::make_shared<const exec::ExecutionReport>(
@@ -139,6 +165,9 @@ std::future<SchedulerService::ExecutionPtr> SchedulerService::execute(
                                 std::chrono::steady_clock::now() - start)
                                 .count());
       exec_cache_.put(key, report);
+      obs::flight_recorder().record(
+          obs::FlightEventKind::kJob, "svc/execute", 0.0,
+          report->events, report->achieved_makespan);
       return report;
     } catch (...) {
       failures_.increment();

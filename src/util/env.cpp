@@ -30,4 +30,12 @@ bool env_flag(const std::string& name, bool fallback) {
   return value == "1" || value == "true" || value == "yes" || value == "on";
 }
 
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  return std::string(raw);
+}
+
 }  // namespace edgesched

@@ -15,4 +15,9 @@ namespace edgesched {
 /// are truthy); returns `fallback` when unset.
 [[nodiscard]] bool env_flag(const std::string& name, bool fallback);
 
+/// Reads a string environment variable; returns `fallback` when unset or
+/// empty.
+[[nodiscard]] std::string env_string(const std::string& name,
+                                     const std::string& fallback);
+
 }  // namespace edgesched
