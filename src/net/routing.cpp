@@ -52,15 +52,22 @@ RouteCache::~RouteCache() {
 }
 
 const Route& RouteCache::route(NodeId from, NodeId to) {
-  const auto key = std::make_pair(from, to);
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_.emplace(key, bfs_route(*topology_, from, to)).first;
-    ++misses_;
-  } else {
-    ++hits_;
+  throw_if(from.index() >= shards_.size() ||
+               to.index() >= topology_->num_nodes(),
+           "RouteCache: invalid endpoint");
+  Shard& shard = shards_[from.index()];
+  if (shard.routes.empty()) {
+    shard.routes.resize(topology_->num_nodes());
+    shard.cached.assign(topology_->num_nodes(), 0);
   }
-  return it->second;
+  if (shard.cached[to.index()] != 0) {
+    ++hits_;
+  } else {
+    shard.routes[to.index()] = bfs_route(*topology_, from, to);
+    shard.cached[to.index()] = 1;
+    ++misses_;
+  }
+  return shard.routes[to.index()];
 }
 
 ProbedRouteCache::~ProbedRouteCache() {
@@ -75,11 +82,16 @@ ProbedRouteCache::~ProbedRouteCache() {
 const Route* ProbedRouteCache::lookup(NodeId from, NodeId to, double ready,
                                       double cost,
                                       std::uint64_t generation) {
-  const auto it = cache_.find(std::make_pair(from, to));
-  if (it != cache_.end() && it->second.generation == generation &&
-      it->second.ready == ready && it->second.cost == cost) {
-    ++hits_;
-    return &it->second.route;
+  if (from.index() < shards_.size()) {
+    const Shard& shard = shards_[from.index()];
+    if (to.index() < shard.entries.size()) {
+      const Entry& entry = shard.entries[to.index()];
+      if (entry.cached && entry.generation == generation &&
+          entry.ready == ready && entry.cost == cost) {
+        ++hits_;
+        return &entry.route;
+      }
+    }
   }
   ++misses_;
   return nullptr;
@@ -88,10 +100,18 @@ const Route* ProbedRouteCache::lookup(NodeId from, NodeId to, double ready,
 void ProbedRouteCache::store(NodeId from, NodeId to, double ready,
                              double cost, std::uint64_t generation,
                              const Route& route) {
-  Entry& entry = cache_[std::make_pair(from, to)];
+  if (from.index() >= shards_.size()) {
+    shards_.resize(from.index() + 1);
+  }
+  Shard& shard = shards_[from.index()];
+  if (to.index() >= shard.entries.size()) {
+    shard.entries.resize(to.index() + 1);
+  }
+  Entry& entry = shard.entries[to.index()];
   entry.ready = ready;
   entry.cost = cost;
   entry.generation = generation;
+  entry.cached = true;
   entry.route = route;
 }
 

@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <map>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -36,11 +35,18 @@ namespace edgesched::net {
 [[nodiscard]] Route bfs_route(const Topology& topology, NodeId from,
                               NodeId to);
 
-/// Memoised BFS routes, keyed by (from, to). The Basic Algorithm's routing
-/// is static, so one cache amortises all BFS work across edges.
+/// Memoised BFS routes, sharded by source node. The Basic Algorithm's
+/// routing is static, so one cache amortises all BFS work across edges.
+///
+/// Each source that routes at least once owns a dense per-destination
+/// shard, so a lookup is two vector indexings — O(1) regardless of how
+/// many routes are cached. At 256 processors a full cache is ~65k
+/// entries; the old (from, to)-keyed map walked an O(log n) tree whose
+/// depth grew with exactly the task-scale this layout caps.
 class RouteCache {
  public:
-  explicit RouteCache(const Topology& topology) : topology_(&topology) {}
+  explicit RouteCache(const Topology& topology)
+      : topology_(&topology), shards_(topology.num_nodes()) {}
 
   /// Flushes the accumulated hit/miss tallies into the global
   /// `net_route_cache_{hits,misses}_total` counters — batched here so the
@@ -54,8 +60,14 @@ class RouteCache {
   const Route& route(NodeId from, NodeId to);
 
  private:
+  /// Per-source shard: routes by destination index, allocated the first
+  /// time that source routes anywhere.
+  struct Shard {
+    std::vector<Route> routes;
+    std::vector<char> cached;
+  };
   const Topology* topology_;
-  std::map<std::pair<NodeId, NodeId>, Route> cache_;
+  std::vector<Shard> shards_;  ///< by source node index
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };
@@ -77,6 +89,12 @@ class RouteCache {
 ///
 /// This is a fast path, never a semantic change: a hit returns exactly
 /// the route the search would have recomputed.
+///
+/// Like `RouteCache`, entries are sharded by source node into dense
+/// per-destination vectors (lazily sized to the largest node index
+/// seen), capping every lookup and store at O(1) — the memo sits inside
+/// the per-edge routing hot loop, so its cost must not grow with the
+/// number of pairs memoised.
 class ProbedRouteCache {
  public:
   ProbedRouteCache() = default;
@@ -101,9 +119,13 @@ class ProbedRouteCache {
     double ready = 0.0;
     double cost = 0.0;
     std::uint64_t generation = 0;
+    bool cached = false;
     Route route;
   };
-  std::map<std::pair<NodeId, NodeId>, Entry> cache_;
+  struct Shard {
+    std::vector<Entry> entries;  ///< by destination index
+  };
+  std::vector<Shard> shards_;  ///< by source node index, grown on demand
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -350,4 +350,10 @@ double MachineState::finish_time(net::NodeId processor) const {
   return timelines_[processor.index()].last_finish();
 }
 
+void MachineState::reserve_slots(std::size_t per_processor_hint) {
+  for (timeline::ProcessorTimeline& tl : timelines_) {
+    tl.reserve(per_processor_hint);
+  }
+}
+
 }  // namespace edgesched::sched

@@ -228,6 +228,11 @@ class MachineState {
   /// t_f(P): current finish time of the processor.
   [[nodiscard]] double finish_time(net::NodeId processor) const;
 
+  /// Arena pre-sizing: gives every timeline capacity for about
+  /// `per_processor_hint` slots so a run sized once up front commits
+  /// without reallocation in the common balanced case.
+  void reserve_slots(std::size_t per_processor_hint);
+
  private:
   std::vector<timeline::ProcessorTimeline> timelines_;  ///< by node index
 };

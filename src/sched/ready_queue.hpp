@@ -1,0 +1,68 @@
+// Incremental ready queue for the list-scheduling loop.
+//
+// `list_order` materialises the whole priority order up front with
+// Kahn's algorithm; `ReadyQueue` is the same algorithm unrolled into
+// the scheduling loop — pop the highest-priority ready task, place it,
+// release its successors — so the engine's ordering work is bounded by
+// O(E log V) pushes/pops with no O(V) order vector and no second pass
+// over the graph. Determinism contract: the pop sequence is *identical*
+// to `list_order` over the same priorities (same max-heap comparator,
+// same tie-break on task id, same push interleaving — std::push_heap /
+// std::pop_heap on both sides), property-tested in
+// tests/ready_queue_property_test.cpp. The heap and indegree arrays are
+// sized once at construction, so a run performs no ordering-related
+// allocations after setup.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+
+namespace edgesched::sched {
+
+class ReadyQueue {
+ public:
+  /// Sizes the heap and indegree arrays for `graph` and seeds every
+  /// source task. `priority` must outlive the queue (one value per
+  /// task, higher pops first).
+  ReadyQueue(const dag::TaskGraph& graph,
+             const std::vector<double>& priority);
+
+  /// Pops the highest-priority ready task into `out`; false when no
+  /// task is ready (drained, or the graph has a cycle — see
+  /// `all_popped`).
+  [[nodiscard]] bool pop(dag::TaskId& out);
+
+  /// Releases `task`'s successors after it has been placed, pushing any
+  /// that became ready.
+  void release_successors(const dag::TaskGraph& graph, dag::TaskId task);
+
+  /// True when every task has been popped; a false value after `pop`
+  /// returns false means the graph contains a cycle.
+  [[nodiscard]] bool all_popped() const noexcept {
+    return popped_ == num_tasks_;
+  }
+
+ private:
+  struct Entry {
+    double priority;
+    dag::TaskId task;
+    bool operator<(const Entry& other) const {
+      if (priority != other.priority) {
+        return priority < other.priority;  // max-heap on priority
+      }
+      return task > other.task;  // then min task id
+    }
+  };
+
+  void push(dag::TaskId task);
+
+  const std::vector<double>* priority_;
+  std::vector<Entry> heap_;
+  std::vector<std::size_t> indegree_;
+  std::size_t num_tasks_ = 0;
+  std::size_t popped_ = 0;
+};
+
+}  // namespace edgesched::sched

@@ -1,0 +1,210 @@
+#include "timeline/gap_index.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "timeline/tolerance.hpp"
+#include "util/error.hpp"
+
+namespace edgesched::timeline {
+
+namespace {
+
+/// splitmix64 — deterministic priority stream for the treap. Sequential
+/// counters hash to well-scattered 64-bit values, giving the expected
+/// O(log n) shape without any run-to-run nondeterminism.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Upper bound on any duration the gap can admit under the tolerant
+/// test `max(gap_start, ready) + duration <= cap`: admission implies
+/// duration <= cap - gap_start up to rounding, and one `time_eps` of
+/// slack (1e-9 relative) exceeds that rounding by ~7 orders of
+/// magnitude. Over-estimation only costs a rejected exact test at the
+/// node; under-estimation is impossible, so pruning stays sound.
+double admit_bound(double gap_start, double cap) {
+  if (std::isinf(cap)) {
+    return cap;
+  }
+  return (cap - gap_start) + time_eps(cap);
+}
+
+}  // namespace
+
+void GapIndex::clear() {
+  nodes_.clear();
+  root_ = -1;
+  free_head_ = -1;
+  counter_ = 0;
+}
+
+std::int32_t GapIndex::alloc_node(double gap_start, double gap_end) {
+  std::int32_t n;
+  if (free_head_ >= 0) {
+    n = free_head_;
+    free_head_ = nodes_[static_cast<std::size_t>(n)].left;
+  } else {
+    n = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[static_cast<std::size_t>(n)];
+  node.gap_start = gap_start;
+  // Same floating-point expression the linear scan evaluates per gap;
+  // precomputing it preserves bit-identical admission decisions.
+  node.cap = gap_end + time_eps(gap_end);
+  node.score = admit_bound(gap_start, node.cap);
+  node.best = node.score;
+  node.prio = mix(counter_++);
+  node.size = 1;
+  node.left = -1;
+  node.right = -1;
+  return n;
+}
+
+void GapIndex::free_node(std::int32_t n) {
+  nodes_[static_cast<std::size_t>(n)].left = free_head_;
+  free_head_ = n;
+}
+
+void GapIndex::pull(std::int32_t t) {
+  Node& node = nodes_[static_cast<std::size_t>(t)];
+  node.size = 1;
+  node.best = node.score;
+  if (node.left >= 0) {
+    const Node& l = nodes_[static_cast<std::size_t>(node.left)];
+    node.size += l.size;
+    if (l.best > node.best) {
+      node.best = l.best;
+    }
+  }
+  if (node.right >= 0) {
+    const Node& r = nodes_[static_cast<std::size_t>(node.right)];
+    node.size += r.size;
+    if (r.best > node.best) {
+      node.best = r.best;
+    }
+  }
+}
+
+void GapIndex::split(std::int32_t t, std::size_t count, std::int32_t& a,
+                     std::int32_t& b) {
+  if (t < 0) {
+    a = -1;
+    b = -1;
+    return;
+  }
+  Node& node = nodes_[static_cast<std::size_t>(t)];
+  const std::size_t left_size =
+      node.left >= 0 ? nodes_[static_cast<std::size_t>(node.left)].size : 0;
+  if (count <= left_size) {
+    split(node.left, count, a, node.left);
+    b = t;
+  } else {
+    split(node.right, count - left_size - 1, node.right, b);
+    a = t;
+  }
+  pull(t);
+}
+
+std::int32_t GapIndex::merge(std::int32_t a, std::int32_t b) {
+  if (a < 0) {
+    return b;
+  }
+  if (b < 0) {
+    return a;
+  }
+  Node& na = nodes_[static_cast<std::size_t>(a)];
+  Node& nb = nodes_[static_cast<std::size_t>(b)];
+  if (na.prio < nb.prio) {
+    na.right = merge(na.right, b);
+    pull(a);
+    return a;
+  }
+  nb.left = merge(a, nb.left);
+  pull(b);
+  return b;
+}
+
+void GapIndex::insert_at(std::size_t pos, double gap_start, double gap_end) {
+  EDGESCHED_ASSERT_MSG(pos <= size(), "gap insert position out of range");
+  const std::int32_t n = alloc_node(gap_start, gap_end);
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  split(root_, pos, a, b);
+  root_ = merge(merge(a, n), b);
+}
+
+void GapIndex::erase_at(std::size_t pos) {
+  EDGESCHED_ASSERT_MSG(pos < size(), "gap erase position out of range");
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int32_t c = -1;
+  split(root_, pos, a, b);
+  split(b, 1, b, c);
+  free_node(b);
+  root_ = merge(a, c);
+}
+
+void GapIndex::split_at(std::size_t pos, double gap_start, double slot_start,
+                        double slot_finish, double gap_end) {
+  erase_at(pos);
+  insert_at(pos, gap_start, slot_start);
+  insert_at(pos + 1, slot_finish, gap_end);
+}
+
+bool GapIndex::find_rec(std::int32_t t, std::size_t skip, double ready_time,
+                        double duration, double& out_start) const {
+  if (t < 0) {
+    return false;
+  }
+  const Node& node = nodes_[static_cast<std::size_t>(t)];
+  // `best` bounds every gap in the subtree, skipped or not, so the
+  // prune is sound regardless of the remaining skip count.
+  if (node.best < duration) {
+    return false;
+  }
+  const std::size_t left_size =
+      node.left >= 0 ? nodes_[static_cast<std::size_t>(node.left)].size : 0;
+  if (skip < left_size &&
+      find_rec(node.left, skip, ready_time, duration, out_start)) {
+    return true;
+  }
+  if (skip <= left_size && node.score >= duration) {
+    // Exact admission test — bit-for-bit the linear scan's predicate.
+    const double start = std::max(node.gap_start, ready_time);
+    if (start + duration <= node.cap) {
+      out_start = start;
+      return true;
+    }
+  }
+  const std::size_t consumed = left_size + 1;
+  return find_rec(node.right, skip > consumed ? skip - consumed : 0,
+                  ready_time, duration, out_start);
+}
+
+bool GapIndex::find_first_fit(std::size_t from_pos, double ready_time,
+                              double duration, double& out_start) const {
+  return find_rec(root_, from_pos, ready_time, duration, out_start);
+}
+
+void GapIndex::collect_rec(std::int32_t t,
+                           std::vector<std::pair<double, double>>& out) const {
+  if (t < 0) {
+    return;
+  }
+  const Node& node = nodes_[static_cast<std::size_t>(t)];
+  collect_rec(node.left, out);
+  out.emplace_back(node.gap_start, node.cap);
+  collect_rec(node.right, out);
+}
+
+void GapIndex::collect(std::vector<std::pair<double, double>>& out) const {
+  out.clear();
+  collect_rec(root_, out);
+}
+
+}  // namespace edgesched::timeline

@@ -1,0 +1,104 @@
+// Hierarchical index over a processor timeline's idle gaps.
+//
+// `GapIndex` mirrors the gap sequence a linear scan over sorted task
+// slots would visit: gap i runs from slot i-1's finish (0 before the
+// first slot) to slot i's start (+inf after the last). It is an
+// *implicit treap* — nodes are ordered by gap position, not by a key —
+// because eps-tolerant commits can leave gap starts non-monotone within
+// a tolerance window, and byte-identical first-fit answers require
+// scanning gaps in exactly the linear scan's index order.
+//
+// Each node is augmented with a conservative admissibility bound
+// (`score`, an upper bound on the longest duration the gap can admit
+// under the eps-tolerant test) and each subtree with the max score
+// below it, so `find_first_fit` descends past whole subtrees that
+// cannot admit the request and evaluates the *exact* admission
+// predicate — the same floating-point expression the linear scan uses —
+// only at surviving candidates. Expected O(log n) per query and per
+// update; the bound inflation (one `time_eps`) dwarfs every rounding
+// error in the predicate, so pruning never skips an admitting gap.
+//
+// Nodes live in a pool (`std::vector` + free list) addressed by index,
+// which keeps the structure trivially copyable — `MachineState` is a
+// value type and the Basic Algorithm copies it during tentative
+// evaluation. Treap priorities come from a hash of a per-index
+// insertion counter: deterministic, so equal commit sequences produce
+// equal trees and equal traversal costs on every run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace edgesched::timeline {
+
+class GapIndex {
+ public:
+  /// Number of gaps currently indexed.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return root_ < 0 ? 0 : nodes_[static_cast<std::size_t>(root_)].size;
+  }
+  [[nodiscard]] bool empty() const noexcept { return root_ < 0; }
+
+  /// Pre-sizes the node pool (a timeline of n slots has n + 1 gaps).
+  void reserve(std::size_t gaps) { nodes_.reserve(gaps); }
+
+  /// Drops every gap; pool capacity is retained.
+  void clear();
+
+  /// Inserts a gap [gap_start, gap_end) at position `pos` (0-based;
+  /// `pos == size()` appends). `gap_end` may be +inf for the tail gap.
+  void insert_at(std::size_t pos, double gap_start, double gap_end);
+
+  /// Removes the gap at position `pos`.
+  void erase_at(std::size_t pos);
+
+  /// Commit helper: replaces the gap at `pos` with the two gaps a slot
+  /// [slot_start, slot_finish] splits it into.
+  void split_at(std::size_t pos, double gap_start, double slot_start,
+                double slot_finish, double gap_end);
+
+  /// First gap at position >= from_pos admitting [start, start+duration]
+  /// with start = max(gap_start, ready_time) under the eps-tolerant
+  /// test; writes that start and returns true, or returns false when no
+  /// indexed gap admits (never happens while the +inf tail gap is
+  /// present at or after from_pos).
+  [[nodiscard]] bool find_first_fit(std::size_t from_pos, double ready_time,
+                                    double duration,
+                                    double& out_start) const;
+
+  /// In-order (gap_start, admission cap) pairs, for invariant checks.
+  void collect(std::vector<std::pair<double, double>>& out) const;
+
+ private:
+  struct Node {
+    double gap_start = 0.0;
+    double cap = 0.0;    ///< gap_end + time_eps(gap_end), precomputed
+    double score = 0.0;  ///< admissibility upper bound for this gap
+    double best = 0.0;   ///< max score in this subtree
+    std::uint64_t prio = 0;
+    std::size_t size = 1;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  [[nodiscard]] std::int32_t alloc_node(double gap_start, double gap_end);
+  void free_node(std::int32_t n);
+  void pull(std::int32_t t);
+  void split(std::int32_t t, std::size_t count, std::int32_t& a,
+             std::int32_t& b);
+  [[nodiscard]] std::int32_t merge(std::int32_t a, std::int32_t b);
+  [[nodiscard]] bool find_rec(std::int32_t t, std::size_t skip,
+                              double ready_time, double duration,
+                              double& out_start) const;
+  void collect_rec(std::int32_t t,
+                   std::vector<std::pair<double, double>>& out) const;
+
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::int32_t free_head_ = -1;
+  std::uint64_t counter_ = 0;  ///< hashed into deterministic priorities
+};
+
+}  // namespace edgesched::timeline

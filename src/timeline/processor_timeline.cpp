@@ -2,13 +2,22 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "timeline/tolerance.hpp"
 
 namespace edgesched::timeline {
 
-double ProcessorTimeline::earliest_start(double ready_time,
-                                         double duration) const {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ProcessorTimeline::ProcessorTimeline() {
+  gaps_.insert_at(0, 0.0, kInf);  // idle machine: one open gap
+}
+
+double ProcessorTimeline::earliest_start_linear(double ready_time,
+                                                double duration) const {
   EDGESCHED_ASSERT_MSG(duration >= 0.0, "task duration must be >= 0");
   double gap_start = 0.0;
   for (std::size_t i = 0; i <= slots_.size(); ++i) {
@@ -25,6 +34,29 @@ double ProcessorTimeline::earliest_start(double ready_time,
   }
   EDGESCHED_ASSERT_MSG(false, "unreachable: open tail always admits task");
   return 0.0;
+}
+
+double ProcessorTimeline::earliest_start(double ready_time,
+                                         double duration) const {
+  if (slots_.size() < kIndexedScanThreshold) {
+    return earliest_start_linear(ready_time, duration);
+  }
+  EDGESCHED_ASSERT_MSG(duration >= 0.0, "task duration must be >= 0");
+  // Gaps ending before min_finish - 2 eps cannot admit the task: their
+  // admission cap tops out below the earliest possible finish. Binary
+  // search past them (same skip bound LinkTimeline::first_candidate_gap
+  // uses), then let the index resume the scan in gap order.
+  const double min_finish = ready_time + duration;
+  const double threshold = min_finish - 2.0 * time_eps(min_finish);
+  const auto first = std::lower_bound(
+      slots_.begin(), slots_.end(), threshold,
+      [](const TaskSlot& slot, double value) { return slot.start < value; });
+  const auto from_pos = static_cast<std::size_t>(first - slots_.begin());
+  double start = 0.0;
+  const bool found =
+      gaps_.find_first_fit(from_pos, ready_time, duration, start);
+  EDGESCHED_ASSERT_MSG(found, "unreachable: open tail always admits task");
+  return start;
 }
 
 void ProcessorTimeline::commit(dag::TaskId task, double start,
@@ -52,7 +84,19 @@ void ProcessorTimeline::commit(dag::TaskId task, double start,
     EDGESCHED_ASSERT_MSG(finish <= insert_at->start + time_eps(finish),
                          "task overlaps its successor on the processor");
   }
+  // The slot lands in gap #at; the index replaces that gap with the
+  // left and right remainders (possibly empty or eps-inverted — exactly
+  // the gaps a linear rescan of the updated slots would derive).
+  const auto at = static_cast<std::size_t>(insert_at - slots_.begin());
+  const double gap_start = at == 0 ? 0.0 : slots_[at - 1].finish;
+  const double gap_end = at == slots_.size() ? kInf : slots_[at].start;
+  gaps_.split_at(at, gap_start, start, finish, gap_end);
   slots_.insert(insert_at, TaskSlot{start, finish, task});
+}
+
+void ProcessorTimeline::reserve(std::size_t num_slots) {
+  slots_.reserve(num_slots);
+  gaps_.reserve(num_slots + 1);
 }
 
 double ProcessorTimeline::busy_time() const noexcept {
@@ -61,6 +105,23 @@ double ProcessorTimeline::busy_time() const noexcept {
     busy += slot.finish - slot.start;
   }
   return busy;
+}
+
+void ProcessorTimeline::check_invariants() const {
+  std::vector<std::pair<double, double>> indexed;
+  gaps_.collect(indexed);
+  EDGESCHED_ASSERT_MSG(indexed.size() == slots_.size() + 1,
+                       "gap index count diverged from slots");
+  double gap_start = 0.0;
+  for (std::size_t i = 0; i <= slots_.size(); ++i) {
+    const double gap_end = (i < slots_.size()) ? slots_[i].start : kInf;
+    EDGESCHED_ASSERT_MSG(indexed[i].first == gap_start &&
+                             indexed[i].second == gap_end + time_eps(gap_end),
+                         "gap index entry diverged from slots");
+    if (i < slots_.size()) {
+      gap_start = slots_[i].finish;
+    }
+  }
 }
 
 }  // namespace edgesched::timeline

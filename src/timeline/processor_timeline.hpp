@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dag/task_graph.hpp"
+#include "timeline/gap_index.hpp"
 #include "util/error.hpp"
 
 namespace edgesched::timeline {
@@ -20,14 +21,31 @@ struct TaskSlot {
 
 class ProcessorTimeline {
  public:
+  ProcessorTimeline();
+
   /// Earliest start >= ready_time such that [start, start + duration] fits
-  /// into an idle interval (insertion policy).
+  /// into an idle interval (insertion policy). Served by the hierarchical
+  /// gap index above `kIndexedScanThreshold` slots — expected
+  /// O(log n) — and by `earliest_start_linear` below it; both return
+  /// bit-identical answers (property-tested in
+  /// processor_gap_index_property_test).
   [[nodiscard]] double earliest_start(double ready_time,
                                       double duration) const;
+
+  /// Reference linear scan over every idle gap — the semantics the
+  /// indexed path must reproduce byte-for-byte. Kept as the equivalence
+  /// oracle; O(n).
+  [[nodiscard]] double earliest_start_linear(double ready_time,
+                                             double duration) const;
 
   /// Books the task at the given start; `start` must come from
   /// `earliest_start` against the current state.
   void commit(dag::TaskId task, double start, double duration);
+
+  /// Pre-sizes the slot vector and gap index for about `num_slots`
+  /// commits, so a scheduler can arena-allocate once per run instead of
+  /// growing per placement.
+  void reserve(std::size_t num_slots);
 
   [[nodiscard]] const std::vector<TaskSlot>& slots() const noexcept {
     return slots_;
@@ -38,8 +56,18 @@ class ProcessorTimeline {
   }
   [[nodiscard]] double busy_time() const noexcept;
 
+  /// Asserts the gap index mirrors the slot-derived gap sequence
+  /// exactly (count, starts and admission caps). Test hook; O(n).
+  void check_invariants() const;
+
+  /// Below this many slots `earliest_start` scans linearly: the scan
+  /// beats the index's binary search + tree descent on short timelines,
+  /// and both paths agree bit-for-bit.
+  static constexpr std::size_t kIndexedScanThreshold = 16;
+
  private:
   std::vector<TaskSlot> slots_;  ///< sorted by start, pairwise disjoint
+  GapIndex gaps_;                ///< idle gaps, mirrored on every commit
 };
 
 }  // namespace edgesched::timeline

@@ -1,0 +1,77 @@
+// Equivalence property of the engine's incremental ready queue.
+//
+// `ReadyQueue` replaces the engine's up-front `list_order` call; the
+// schedules it produces are only byte-identical if its pop sequence is
+// *exactly* the order `list_order` materialises — same max-heap on
+// priority, same min-task-id tie-break, same push interleaving. These
+// tests drive both over randomized layered DAGs (duplicate priorities
+// included, so tie-breaks actually fire) and structured generators, and
+// require element-for-element equal orders.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dag/generators.hpp"
+#include "sched/priorities.hpp"
+#include "sched/ready_queue.hpp"
+#include "util/rng.hpp"
+
+namespace edgesched::sched {
+namespace {
+
+std::vector<dag::TaskId> drain(const dag::TaskGraph& graph,
+                               const std::vector<double>& priority) {
+  ReadyQueue queue(graph, priority);
+  std::vector<dag::TaskId> order;
+  order.reserve(graph.num_tasks());
+  dag::TaskId task;
+  while (queue.pop(task)) {
+    order.push_back(task);
+    queue.release_successors(graph, task);
+  }
+  EXPECT_TRUE(queue.all_popped());
+  return order;
+}
+
+void expect_same_order(const std::vector<dag::TaskId>& incremental,
+                       const std::vector<dag::TaskId>& reference) {
+  ASSERT_EQ(incremental.size(), reference.size());
+  for (std::size_t i = 0; i < incremental.size(); ++i) {
+    ASSERT_EQ(incremental[i], reference[i]) << "position " << i;
+  }
+}
+
+class ReadyQueueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReadyQueueProperty, PopSequenceMatchesListOrderOnRandomDags) {
+  Rng rng(GetParam());
+  for (std::size_t round = 0; round < 30; ++round) {
+    dag::LayeredDagParams params;
+    params.num_tasks = static_cast<std::size_t>(rng.uniform_int(1, 300));
+    const dag::TaskGraph graph = dag::random_layered(params, rng);
+    for (const PriorityScheme scheme :
+         {PriorityScheme::kBottomLevel,
+          PriorityScheme::kBottomLevelComputationOnly,
+          PriorityScheme::kTopLevelPlusBottomLevel}) {
+      const std::vector<double> prio = priorities(graph, scheme);
+      expect_same_order(drain(graph, prio), list_order(graph, prio));
+    }
+  }
+}
+
+// Constant priorities force every comparison through the task-id
+// tie-break — the most divergence-prone path.
+TEST_P(ReadyQueueProperty, PopSequenceMatchesListOrderUnderFullTies) {
+  Rng rng(GetParam() + 50);
+  dag::LayeredDagParams params;
+  params.num_tasks = 200;
+  const dag::TaskGraph graph = dag::random_layered(params, rng);
+  const std::vector<double> flat(graph.num_tasks(), 1.0);
+  expect_same_order(drain(graph, flat), list_order(graph, flat));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReadyQueueProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace edgesched::sched

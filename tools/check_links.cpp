@@ -1,0 +1,170 @@
+// Markdown intra-repo link checker.
+//
+// Scans markdown files for inline links/images `[text](target)` and
+// verifies that every repo-relative target exists on disk. External
+// schemes (http/https/mailto) and pure `#fragment` anchors are skipped;
+// a `path#anchor` target is checked by its path part. Fenced code
+// blocks and inline code spans are stripped first so `array[i](x)`
+// snippets cannot false-positive. Exits 1 listing every dead link —
+// this is the docs-book rot gate wired into ctest and CI.
+//
+// Usage: check_links [--root <dir>] <file.md>...
+//   --root  resolution base for absolute (/-prefixed) targets;
+//           defaults to the current working directory.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Removes fenced code blocks (``` ... ```) and inline code spans
+/// (`...`), preserving line structure so reported line numbers match
+/// the source file.
+std::string strip_code(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_fence = false;
+  bool in_span = false;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const bool at_line_start = i == 0 || text[i - 1] == '\n';
+    if (at_line_start && text.compare(i, 3, "```") == 0) {
+      in_fence = !in_fence;
+      in_span = false;
+      while (i < text.size() && text[i] != '\n') {
+        ++i;  // drop the fence marker line (language tag included)
+      }
+      continue;
+    }
+    if (text[i] == '\n') {
+      in_span = false;  // inline spans do not cross lines
+      out.push_back('\n');
+      ++i;
+      continue;
+    }
+    if (!in_fence && text[i] == '`') {
+      in_span = !in_span;
+      ++i;
+      continue;
+    }
+    if (!in_fence && !in_span) {
+      out.push_back(text[i]);
+    }
+    ++i;
+  }
+  return out;
+}
+
+bool is_external(const std::string& target) {
+  return target.rfind("http://", 0) == 0 ||
+         target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0;
+}
+
+struct DeadLink {
+  std::string file;
+  std::size_t line;
+  std::string target;
+};
+
+void check_file(const fs::path& file, const fs::path& root,
+                std::vector<DeadLink>& dead, std::size_t& checked) {
+  std::ifstream in(file);
+  if (!in) {
+    dead.push_back(DeadLink{file.string(), 0, "<unreadable file>"});
+    return;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = strip_code(buffer.str());
+
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (text[i] != '[') {
+      continue;
+    }
+    const std::size_t close = text.find(']', i);
+    if (close == std::string::npos || close + 1 >= text.size() ||
+        text[close + 1] != '(') {
+      continue;
+    }
+    const std::size_t end = text.find(')', close + 2);
+    if (end == std::string::npos) {
+      continue;
+    }
+    std::string target = text.substr(close + 2, end - close - 2);
+    i = end;
+    // Markdown allows an optional title: [x](path "title").
+    if (const std::size_t space = target.find(' ');
+        space != std::string::npos) {
+      target.resize(space);
+    }
+    if (target.empty() || is_external(target) || target[0] == '#') {
+      continue;
+    }
+    if (const std::size_t hash = target.find('#');
+        hash != std::string::npos) {
+      target.resize(hash);  // validate the path part of path#anchor
+      if (target.empty()) {
+        continue;
+      }
+    }
+    const fs::path resolved = target[0] == '/'
+                                  ? root / target.substr(1)
+                                  : file.parent_path() / target;
+    ++checked;
+    std::error_code ec;
+    if (!fs::exists(resolved, ec)) {
+      dead.push_back(DeadLink{file.string(), line, target});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: check_links [--root <dir>] <file.md>...\n";
+      return 0;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "check_links: no files given (see --help)\n";
+    return 2;
+  }
+
+  std::vector<DeadLink> dead;
+  std::size_t checked = 0;
+  for (const fs::path& file : files) {
+    check_file(file, root, dead, checked);
+  }
+  if (!dead.empty()) {
+    for (const DeadLink& d : dead) {
+      std::cerr << d.file << ":" << d.line << ": dead link -> " << d.target
+                << "\n";
+    }
+    std::cerr << dead.size() << " dead link(s) across " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "check_links: " << checked << " intra-repo link(s) across "
+            << files.size() << " file(s) all resolve\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs every `<!-- doctest -->`-marked ```sh block from the given
+# markdown files, so documented commands are exercised verbatim by the
+# doc_examples ctest target and CI.
+#
+# Each block executes under `bash -e` in its own scratch directory
+# (artifacts like trace.json never land in the repo), with two path
+# rewrites so the docs can show the conventional invocations:
+#   ./build/   -> $EDGESCHED_BUILD_DIR/
+#   data/...   -> $EDGESCHED_REPO/data/...
+#
+# Env: EDGESCHED_REPO       repo root        (default: cwd)
+#      EDGESCHED_BUILD_DIR  build tree       (default: $EDGESCHED_REPO/build)
+set -u
+
+REPO="${EDGESCHED_REPO:-$(pwd)}"
+BUILD="${EDGESCHED_BUILD_DIR:-$REPO/build}"
+
+total=0
+failed=0
+for file in "$@"; do
+  blocks_dir="$(mktemp -d)"
+  awk -v dir="$blocks_dir" '
+    /^<!-- doctest/           { want = 1; next }
+    inb && /^```/             { inb = 0; close(out); next }
+    want && /^```/            { inb = 1; want = 0; n++
+                                out = dir "/block_" n ".sh"; next }
+    inb                       { print > out }
+    want && !/^[[:space:]]*$/ { want = 0 }
+  ' "$file"
+  for block in "$blocks_dir"/block_*.sh; do
+    [ -e "$block" ] || continue
+    total=$((total + 1))
+    sed -e "s|\./build/|$BUILD/|g" \
+        -e "s| data/| $REPO/data/|g" "$block" > "$block.resolved"
+    scratch="$(mktemp -d)"
+    if (cd "$scratch" && bash -e "$block.resolved" > run.log 2>&1); then
+      echo "PASS $file $(basename "$block" .sh)"
+    else
+      echo "FAIL $file $(basename "$block" .sh)"
+      echo "  --- script ---"
+      sed 's/^/  /' "$block"
+      echo "  --- output ---"
+      sed 's/^/  /' "$scratch/run.log"
+      failed=$((failed + 1))
+    fi
+    rm -rf "$scratch"
+  done
+  rm -rf "$blocks_dir"
+done
+
+echo "doc examples: $((total - failed))/$total passed"
+[ "$failed" -eq 0 ]
