@@ -19,6 +19,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/run_context.hpp"
 #include "obs/trace.hpp"
+#include "sched/platform.hpp"
 #include "sched/registry.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/validator.hpp"
@@ -1016,6 +1017,10 @@ RoundResult Round::run() {
 struct Replan {
   dag::Subgraph sub;
   SurvivingTopology surv;
+  /// Platform snapshot derived from the surviving topology; later rounds
+  /// against the same fabric (and the validator-facing replan itself)
+  /// reuse its route table instead of re-deriving per call.
+  std::unique_ptr<sched::PlatformContext> platform;
   std::unique_ptr<sched::Schedule> plan;
   RoundContext ctx;
 };
@@ -1226,8 +1231,10 @@ ExecutionReport execute(const dag::TaskGraph& graph,
     try {
       const std::unique_ptr<sched::Scheduler> scheduler =
           sched::make_scheduler(algorithm);
+      rp->platform =
+          std::make_unique<sched::PlatformContext>(rp->surv.topology);
       rp->plan = std::make_unique<sched::Schedule>(
-          scheduler->schedule(rp->sub.graph, rp->surv.topology));
+          scheduler->schedule(rp->sub.graph, *rp->platform));
       if (options.validate_recovery) {
         sched::validate_or_throw(rp->sub.graph, rp->surv.topology, *rp->plan);
       }

@@ -70,6 +70,66 @@ const Route& RouteCache::route(NodeId from, NodeId to) {
   return shard.routes[to.index()];
 }
 
+StaticRouteTable::StaticRouteTable(const Topology& topology) {
+  shards_.resize(topology.num_nodes());
+  // One BFS per processor source, identical discovery order to
+  // `bfs_route` but run to exhaustion so every destination's parent is
+  // assigned in one pass. Early stopping cannot change any parent that
+  // was already assigned (BFS assigns each node's parent exactly once,
+  // in deterministic frontier order), so the extracted routes are
+  // byte-identical to per-destination `bfs_route` calls.
+  const std::size_t n = topology.num_nodes();
+  std::vector<LinkId> parent(n);
+  std::vector<char> seen(n);
+  std::vector<NodeId> frontier;
+  frontier.reserve(n);
+  for (const NodeId from : topology.processors()) {
+    std::fill(seen.begin(), seen.end(), 0);
+    frontier.clear();
+    frontier.push_back(from);
+    seen[from.index()] = 1;
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const NodeId current = frontier[head];
+      for (LinkId l : topology.out_links(current)) {
+        const NodeId next = topology.link(l).dst;
+        if (seen[next.index()] == 0) {
+          seen[next.index()] = 1;
+          parent[next.index()] = l;
+          frontier.push_back(next);
+        }
+      }
+    }
+    Shard& shard = shards_[from.index()];
+    shard.routes.resize(n);
+    shard.cached.assign(n, 0);
+    shard.cached[from.index()] = 1;  // from == to: the empty route
+    for (const NodeId to : topology.processors()) {
+      if (to == from || seen[to.index()] == 0) {
+        continue;
+      }
+      Route route;
+      NodeId at = to;
+      while (at != from) {
+        const LinkId hop = parent[at.index()];
+        route.push_back(hop);
+        at = topology.link(hop).src;
+      }
+      std::reverse(route.begin(), route.end());
+      shard.routes[to.index()] = std::move(route);
+      shard.cached[to.index()] = 1;
+    }
+  }
+}
+
+const Route& StaticRouteTable::route(NodeId from, NodeId to) const {
+  throw_if(from.index() >= shards_.size(), "StaticRouteTable: bad source");
+  const Shard& shard = shards_[from.index()];
+  throw_if(to.index() >= shard.routes.size() ||
+               shard.cached[to.index()] == 0,
+           "StaticRouteTable: route not materialised (processors only)");
+  return shard.routes[to.index()];
+}
+
 ProbedRouteCache::~ProbedRouteCache() {
   if (hits_ > 0) {
     obs::hot_counters().route_memo_hits.increment(hits_);
@@ -86,8 +146,9 @@ const Route* ProbedRouteCache::lookup(NodeId from, NodeId to, double ready,
     const Shard& shard = shards_[from.index()];
     if (to.index() < shard.entries.size()) {
       const Entry& entry = shard.entries[to.index()];
-      if (entry.cached && entry.generation == generation &&
-          entry.ready == ready && entry.cost == cost) {
+      if (entry.cached && entry.run_epoch == run_epoch_ &&
+          entry.generation == generation && entry.ready == ready &&
+          entry.cost == cost) {
         ++hits_;
         return &entry.route;
       }
@@ -111,6 +172,7 @@ void ProbedRouteCache::store(NodeId from, NodeId to, double ready,
   entry.ready = ready;
   entry.cost = cost;
   entry.generation = generation;
+  entry.run_epoch = run_epoch_;
   entry.cached = true;
   entry.route = route;
 }

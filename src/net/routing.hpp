@@ -13,7 +13,12 @@
 // * `RoutingWorkspace` — reusable, epoch-stamped Dijkstra scratch so a
 //   scheduler routing thousands of edges allocates its search state once.
 // * `ProbedRouteCache` — memoisation of probe-driven routes keyed on the
-//   network-state load generation; invalidated by any link mutation.
+//   network-state load generation; invalidated by any link mutation and
+//   by `begin_run()` (pooled scratch reused across runs).
+// * `StaticRouteTable` — the immutable all-pairs counterpart of
+//   `RouteCache`: every processor-to-processor minimal route materialised
+//   eagerly at construction, after which lookups are const and safe from
+//   any number of threads (sched::PlatformContext owns one per topology).
 #pragma once
 
 #include <algorithm>
@@ -72,6 +77,42 @@ class RouteCache {
   std::uint64_t misses_ = 0;
 };
 
+/// Immutable all-pairs minimal-route table: one full BFS per processor at
+/// construction, materialising the route to every reachable processor.
+/// Produces byte-identical routes to `bfs_route` — BFS parent assignment
+/// is deterministic and prefix-stable, so running each source's search to
+/// exhaustion (instead of early-stopping at one destination) changes
+/// nothing about any individual route.
+///
+/// The table is the read-only half of what `RouteCache` conflates: it
+/// holds no query state, so `route()` is const and safe to call from any
+/// number of threads concurrently. `sched::PlatformContext` builds one
+/// per topology and shares it across every run on that fabric; the lazy
+/// `RouteCache` remains the right shape for single-run scheduling where
+/// eager all-pairs work would be wasted.
+///
+/// Scheduling only ever routes between processors, so switch-to-anything
+/// pairs are not materialised; asking for one trips an assertion.
+class StaticRouteTable {
+ public:
+  explicit StaticRouteTable(const Topology& topology);
+
+  StaticRouteTable(const StaticRouteTable&) = delete;
+  StaticRouteTable& operator=(const StaticRouteTable&) = delete;
+
+  /// The minimal route between two processors; `from == to` yields the
+  /// empty route. Both endpoints must be processors of the topology the
+  /// table was built from (and mutually reachable).
+  [[nodiscard]] const Route& route(NodeId from, NodeId to) const;
+
+ private:
+  struct Shard {
+    std::vector<Route> routes;  ///< by destination index
+    std::vector<char> cached;
+  };
+  std::vector<Shard> shards_;  ///< by source node index
+};
+
 /// Memoised *probe-driven* routes (modified routing, §4.3). Unlike BFS
 /// routes these depend on the live link timelines, so an entry is only
 /// returned when the query is provably identical to the one that
@@ -105,6 +146,14 @@ class ProbedRouteCache {
   ProbedRouteCache(const ProbedRouteCache&) = delete;
   ProbedRouteCache& operator=(const ProbedRouteCache&) = delete;
 
+  /// Invalidates every entry (O(1): bumps the run epoch entries are
+  /// stamped with). Pooled workspaces call this between runs — load
+  /// generations restart per run, so an entry from a previous run could
+  /// otherwise collide with an unrelated query that happens to repeat
+  /// the same (ready, cost, generation) triple. A fresh cache and a
+  /// begun-again one are behaviourally identical, misses included.
+  void begin_run() noexcept { ++run_epoch_; }
+
   /// The memoised route for the identical query, or nullptr on miss.
   [[nodiscard]] const Route* lookup(NodeId from, NodeId to, double ready,
                                     double cost, std::uint64_t generation);
@@ -119,6 +168,7 @@ class ProbedRouteCache {
     double ready = 0.0;
     double cost = 0.0;
     std::uint64_t generation = 0;
+    std::uint64_t run_epoch = 0;
     bool cached = false;
     Route route;
   };
@@ -126,6 +176,7 @@ class ProbedRouteCache {
     std::vector<Entry> entries;  ///< by destination index
   };
   std::vector<Shard> shards_;  ///< by source node index, grown on demand
+  std::uint64_t run_epoch_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };
@@ -248,17 +299,22 @@ class RoutingWorkspace {
 };
 
 /// Per-run routing scratch state, bundled so a routing policy owns one
-/// object instead of each scheduler re-declaring the pieces: the BFS
-/// route cache (static minimal routing), the epoch-stamped Dijkstra
-/// workspace (reused across every routed edge of a run), and the
-/// generation-keyed probe-route memo. One scratch belongs to one run on
-/// one thread; constructing it is cheap (the workspace sizes itself on
-/// first search).
+/// object instead of each scheduler re-declaring the pieces: the
+/// epoch-stamped Dijkstra workspace (reused across every routed edge of
+/// a run) and the generation-keyed probe-route memo. One scratch belongs
+/// to one run on one thread at a time, but the object itself may be
+/// pooled and reused across runs (sched::Workspace does): `begin_run()`
+/// invalidates the memo, and the Dijkstra workspace is already
+/// self-resetting via its search epoch. Construction is cheap (both
+/// members size themselves on first use); the *read-only* routing state
+/// — the BFS route table — lives in `StaticRouteTable` / `RouteCache`,
+/// outside this scratch.
 struct RoutingScratch {
-  explicit RoutingScratch(const Topology& topology) : bfs(topology) {}
-  RouteCache bfs;
   RoutingWorkspace workspace;
   ProbedRouteCache memo;
+
+  /// Marks the start of a new run on this (possibly pooled) scratch.
+  void begin_run() noexcept { memo.begin_run(); }
 };
 
 /// Dynamic Dijkstra over tentative edge finish times (modified routing).

@@ -26,6 +26,12 @@ Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
   return ListSchedulingEngine(spec(options_)).run(graph, topology);
 }
 
+Schedule BasicAlgorithm::schedule(const dag::TaskGraph& graph,
+                                  const PlatformContext& platform) const {
+  check_inputs(graph, platform.topology());
+  return ListSchedulingEngine(spec(options_)).run(graph, platform);
+}
+
 std::uint64_t BasicAlgorithm::fingerprint() const {
   return spec(options_).fingerprint();
 }

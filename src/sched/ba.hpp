@@ -64,6 +64,9 @@ class BasicAlgorithm final : public Scheduler {
   [[nodiscard]] Schedule schedule(
       const dag::TaskGraph& graph,
       const net::Topology& topology) const override;
+  [[nodiscard]] Schedule schedule(
+      const dag::TaskGraph& graph,
+      const PlatformContext& platform) const override;
   [[nodiscard]] std::string name() const override { return "BA"; }
   [[nodiscard]] std::uint64_t fingerprint() const override;
 

@@ -34,6 +34,12 @@ Schedule Bbsa::schedule(const dag::TaskGraph& graph,
   return ListSchedulingEngine(spec(options_)).run(graph, topology);
 }
 
+Schedule Bbsa::schedule(const dag::TaskGraph& graph,
+                        const PlatformContext& platform) const {
+  check_inputs(graph, platform.topology());
+  return ListSchedulingEngine(spec(options_)).run(graph, platform);
+}
+
 std::uint64_t Bbsa::fingerprint() const {
   return spec(options_).fingerprint();
 }

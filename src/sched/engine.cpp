@@ -27,9 +27,33 @@ ListSchedulingEngine::ListSchedulingEngine(AlgorithmSpec spec)
 
 Schedule ListSchedulingEngine::run(const dag::TaskGraph& graph,
                                    const net::Topology& topology) const {
+  // Standalone run: local workspace, everything derived from the raw
+  // topology (lazy BFS cache, O(L) MLS reduction when needed).
+  Workspace workspace;
+  return run_impl(graph, topology, nullptr, workspace);
+}
+
+Schedule ListSchedulingEngine::run(const dag::TaskGraph& graph,
+                                   const PlatformContext& platform) const {
+  // Shared-platform run: lease pooled scratch, reuse the context's
+  // immutable route table and cached reductions.
+  const WorkspaceLease lease = platform.checkout();
+  return run_impl(graph, platform.topology(), &platform, *lease);
+}
+
+Schedule ListSchedulingEngine::run_impl(const dag::TaskGraph& graph,
+                                        const net::Topology& topology,
+                                        const PlatformContext* platform,
+                                        Workspace& workspace) const {
   obs::Span run_span(names_.schedule, "sched", graph.num_tasks());
   obs::DecisionLog* const log = obs::active_decision_log();
   Schedule out(spec_.name, graph.num_tasks(), graph.num_edges());
+
+  // Re-arm the (possibly pooled) workspace: probe-route memo entries
+  // from a previous run are invalidated, reusable buffers cleared. A
+  // fresh local workspace goes through the same call, so both paths see
+  // identical scratch state.
+  workspace.begin_run();
 
   // Incremental ready queue instead of a materialised order vector:
   // O(E log V) heap work interleaved with placement, identical pop
@@ -46,15 +70,24 @@ Schedule ListSchedulingEngine::run(const dag::TaskGraph& graph,
   // reallocation.
   const std::size_t num_procs = std::max<std::size_t>(
       std::size_t{1}, topology.num_processors());
-  machines.reserve_slots(graph.num_tasks() / num_procs + 8);
-  // Per-run routing scratch: BFS cache, epoch-stamped Dijkstra workspace
-  // and generation-keyed probe-route memo, shared by the routing policy
-  // across every routed edge (including tentative-selection trials).
-  net::RoutingScratch routing_scratch(topology);
-  const std::unique_ptr<RoutingPolicy> routing =
-      make_routing_policy(spec_, topology, routing_scratch);
+  machines.reserve_slots(platform != nullptr
+                             ? platform->slot_reserve_hint(graph.num_tasks())
+                             : graph.num_tasks() / num_procs + 8);
+  // Routing policy over the per-run scratch (epoch-stamped Dijkstra
+  // workspace, generation-keyed probe-route memo) and, when a platform
+  // is shared, its immutable all-pairs BFS table.
+  const std::unique_ptr<RoutingPolicy> routing = make_routing_policy(
+      spec_, topology, workspace.routing,
+      platform != nullptr ? &platform->routes() : nullptr);
+  // The MLS reduction is only consulted by the kMlsEstimate policy;
+  // compute (or fetch from the platform) exactly when it is.
+  const double mean_link_speed =
+      spec_.selection == SelectionPolicyKind::kMlsEstimate
+          ? (platform != nullptr ? platform->mean_link_speed()
+                                 : topology.mean_link_speed())
+          : 0.0;
   const std::unique_ptr<ProcessorSelectionPolicy> selection =
-      make_selection_policy(spec_, topology);
+      make_selection_policy(spec_, mean_link_speed);
   const std::unique_ptr<EdgeOrderPolicy> edge_order =
       make_edge_order_policy(spec_);
   const std::unique_ptr<InsertionPolicy> insertion =
@@ -62,8 +95,8 @@ Schedule ListSchedulingEngine::run(const dag::TaskGraph& graph,
 
   const EngineState state{graph,    topology, spec_,   out,
                           machines, *network, *routing};
-  std::vector<dag::EdgeId> order_scratch;
-  std::vector<obs::ProcessorCandidate> candidates;
+  std::vector<dag::EdgeId>& order_scratch = workspace.order_scratch;
+  std::vector<obs::ProcessorCandidate>& candidates = workspace.candidates;
   std::uint64_t edges_routed = 0;
   std::uint64_t tasks_placed = 0;
 

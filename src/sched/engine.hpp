@@ -22,6 +22,7 @@
 #include "net/topology.hpp"
 #include "obs/naming.hpp"
 #include "sched/algorithm_spec.hpp"
+#include "sched/platform.hpp"
 #include "sched/schedule.hpp"
 #include "sched/scheduler.hpp"
 
@@ -37,11 +38,27 @@ class ListSchedulingEngine {
 
   /// Runs the list-scheduling loop. Reentrant: all mutable state is
   /// per-run, so one engine may serve concurrent runs (the service
-  /// layer's parallel sweeps rely on this).
+  /// layer's parallel sweeps rely on this). This overload derives
+  /// everything from the raw topology — the right shape for a one-off
+  /// schedule on a fabric no other run shares.
   [[nodiscard]] Schedule run(const dag::TaskGraph& graph,
                              const net::Topology& topology) const;
 
+  /// Runs the loop against a shared `PlatformContext`: routes come from
+  /// the context's immutable table, the MLS estimate from its cached
+  /// reduction, and the per-run scratch from its workspace pool. Safe
+  /// from any number of threads concurrently over one context, and
+  /// byte-identical to the raw-topology overload
+  /// (tests/platform_context_property_test.cpp).
+  [[nodiscard]] Schedule run(const dag::TaskGraph& graph,
+                             const PlatformContext& platform) const;
+
  private:
+  [[nodiscard]] Schedule run_impl(const dag::TaskGraph& graph,
+                                  const net::Topology& topology,
+                                  const PlatformContext* platform,
+                                  Workspace& workspace) const;
+
   AlgorithmSpec spec_;
   obs::SpanNames names_;
 };
@@ -58,6 +75,13 @@ class SpecScheduler final : public Scheduler {
       const net::Topology& topology) const override {
     check_inputs(graph, topology);
     return engine_.run(graph, topology);
+  }
+
+  [[nodiscard]] Schedule schedule(
+      const dag::TaskGraph& graph,
+      const PlatformContext& platform) const override {
+    check_inputs(graph, platform.topology());
+    return engine_.run(graph, platform);
   }
 
   [[nodiscard]] std::string name() const override {

@@ -38,6 +38,9 @@ class GeneticScheduler final : public Scheduler {
   [[nodiscard]] Schedule schedule(
       const dag::TaskGraph& graph,
       const net::Topology& topology) const override;
+  /// Keep the base's PlatformContext overload visible (no per-topology
+  /// derived state here, so the default forwarding is already right).
+  using Scheduler::schedule;
   [[nodiscard]] std::string name() const override { return "GA"; }
 
  private:

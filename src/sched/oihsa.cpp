@@ -32,6 +32,12 @@ Schedule Oihsa::schedule(const dag::TaskGraph& graph,
   return ListSchedulingEngine(spec(options_)).run(graph, topology);
 }
 
+Schedule Oihsa::schedule(const dag::TaskGraph& graph,
+                         const PlatformContext& platform) const {
+  check_inputs(graph, platform.topology());
+  return ListSchedulingEngine(spec(options_)).run(graph, platform);
+}
+
 std::uint64_t Oihsa::fingerprint() const {
   return spec(options_).fingerprint();
 }

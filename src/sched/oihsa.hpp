@@ -61,6 +61,9 @@ class Oihsa final : public Scheduler {
   [[nodiscard]] Schedule schedule(
       const dag::TaskGraph& graph,
       const net::Topology& topology) const override;
+  [[nodiscard]] Schedule schedule(
+      const dag::TaskGraph& graph,
+      const PlatformContext& platform) const override;
   [[nodiscard]] std::string name() const override { return "OIHSA"; }
   [[nodiscard]] std::uint64_t fingerprint() const override;
 

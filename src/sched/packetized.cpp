@@ -26,6 +26,12 @@ Schedule PacketizedBa::schedule(const dag::TaskGraph& graph,
   return ListSchedulingEngine(spec(options_)).run(graph, topology);
 }
 
+Schedule PacketizedBa::schedule(const dag::TaskGraph& graph,
+                                const PlatformContext& platform) const {
+  check_inputs(graph, platform.topology());
+  return ListSchedulingEngine(spec(options_)).run(graph, platform);
+}
+
 std::uint64_t PacketizedBa::fingerprint() const {
   return spec(options_).fingerprint();
 }

@@ -46,6 +46,9 @@ class PacketizedBa final : public Scheduler {
   [[nodiscard]] Schedule schedule(
       const dag::TaskGraph& graph,
       const net::Topology& topology) const override;
+  [[nodiscard]] Schedule schedule(
+      const dag::TaskGraph& graph,
+      const PlatformContext& platform) const override;
   [[nodiscard]] std::string name() const override { return "PACKET-BA"; }
   [[nodiscard]] std::uint64_t fingerprint() const override;
 

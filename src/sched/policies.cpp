@@ -122,8 +122,8 @@ class TentativeEftSelection final : public ProcessorSelectionPolicy {
 /// start the placement policy would actually yield.
 class MlsEstimateSelection final : public ProcessorSelectionPolicy {
  public:
-  MlsEstimateSelection(const net::Topology& topology, bool insertion_aware)
-      : mls_(topology.mean_link_speed()), insertion_aware_(insertion_aware) {}
+  MlsEstimateSelection(double mean_link_speed, bool insertion_aware)
+      : mls_(mean_link_speed), insertion_aware_(insertion_aware) {}
 
   Choice select(const EngineState& state, dag::TaskId /*task*/,
                 double weight, double /*ready_moment*/,
@@ -201,19 +201,31 @@ class ByCostEdgeOrder final : public EdgeOrderPolicy {
 // ---------------------------------------------------------------------------
 // Routing (§4.3)
 
-/// Static minimal routing: fewest hops, memoised per (from, to).
+/// Static minimal routing: fewest hops. Reads the shared platform's
+/// immutable all-pairs table when one is supplied; otherwise owns a
+/// lazy per-run `RouteCache` (the standalone-run shape, where eager
+/// all-pairs BFS would be wasted work). Both sources return
+/// byte-identical routes.
 class BfsRouting final : public RoutingPolicy {
  public:
-  explicit BfsRouting(net::RoutingScratch& scratch) : scratch_(scratch) {}
+  BfsRouting(const net::Topology& topology,
+             const net::StaticRouteTable* table)
+      : table_(table) {
+    if (table_ == nullptr) {
+      cache_ = std::make_unique<net::RouteCache>(topology);
+    }
+  }
 
   const net::Route& route(NetworkStateModel& /*network*/, net::NodeId from,
                           net::NodeId to, double /*ship_time*/,
                           double /*cost*/) override {
-    return scratch_.bfs.route(from, to);
+    return table_ != nullptr ? table_->route(from, to)
+                             : cache_->route(from, to);
   }
 
  private:
-  net::RoutingScratch& scratch_;
+  const net::StaticRouteTable* table_;
+  std::unique_ptr<net::RouteCache> cache_;
 };
 
 /// Modified routing (§4.3): Dijkstra relaxing on the tentative per-link
@@ -413,7 +425,7 @@ class FluidBandwidthInsertion final : public InsertionPolicy {
 }  // namespace
 
 std::unique_ptr<ProcessorSelectionPolicy> make_selection_policy(
-    const AlgorithmSpec& spec, const net::Topology& topology) {
+    const AlgorithmSpec& spec, double mean_link_speed) {
   switch (spec.selection) {
     case SelectionPolicyKind::kBlindEft:
       return std::make_unique<BlindEftSelection>();
@@ -421,7 +433,7 @@ std::unique_ptr<ProcessorSelectionPolicy> make_selection_policy(
       return std::make_unique<TentativeEftSelection>();
     case SelectionPolicyKind::kMlsEstimate:
       return std::make_unique<MlsEstimateSelection>(
-          topology, spec.insertion_aware_estimate);
+          mean_link_speed, spec.insertion_aware_estimate);
   }
   EDGESCHED_ASSERT_MSG(false, "unknown selection policy kind");
   return nullptr;
@@ -441,10 +453,11 @@ std::unique_ptr<EdgeOrderPolicy> make_edge_order_policy(
 
 std::unique_ptr<RoutingPolicy> make_routing_policy(
     const AlgorithmSpec& spec, const net::Topology& topology,
-    net::RoutingScratch& scratch) {
+    net::RoutingScratch& scratch,
+    const net::StaticRouteTable* static_routes) {
   switch (spec.routing) {
     case RoutingPolicyKind::kBfsMinimal:
-      return std::make_unique<BfsRouting>(scratch);
+      return std::make_unique<BfsRouting>(topology, static_routes);
     case RoutingPolicyKind::kProbeDijkstra:
       return std::make_unique<ProbeDijkstraRouting>(topology, scratch,
                                                     spec.route_memo);

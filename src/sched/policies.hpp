@@ -135,15 +135,23 @@ class InsertionPolicy {
                            std::vector<obs::EdgeHop>& hops) const = 0;
 };
 
+/// `mean_link_speed` is the topology's MLS, precomputed by the caller —
+/// from the raw topology for a standalone run, from the shared
+/// `PlatformContext` when one is threaded through (identical value
+/// either way; only the kMlsEstimate policy consults it).
 [[nodiscard]] std::unique_ptr<ProcessorSelectionPolicy> make_selection_policy(
-    const AlgorithmSpec& spec, const net::Topology& topology);
+    const AlgorithmSpec& spec, double mean_link_speed);
 [[nodiscard]] std::unique_ptr<EdgeOrderPolicy> make_edge_order_policy(
     const AlgorithmSpec& spec);
-/// `scratch` (BFS cache, Dijkstra workspace, probe-route memo) must
-/// outlive the policy; the engine owns one per run.
+/// `scratch` (Dijkstra workspace, probe-route memo) must outlive the
+/// policy; the engine leases one per run. `static_routes`, when
+/// non-null, is the shared platform's immutable all-pairs route table —
+/// BFS routing reads it instead of owning a per-run `RouteCache`
+/// (byte-identical routes either way).
 [[nodiscard]] std::unique_ptr<RoutingPolicy> make_routing_policy(
     const AlgorithmSpec& spec, const net::Topology& topology,
-    net::RoutingScratch& scratch);
+    net::RoutingScratch& scratch,
+    const net::StaticRouteTable* static_routes);
 [[nodiscard]] std::unique_ptr<InsertionPolicy> make_insertion_policy(
     const AlgorithmSpec& spec);
 

@@ -1,9 +1,18 @@
 #include "sched/scheduler.hpp"
 
+#include "sched/platform.hpp"
 #include "sched/registry.hpp"
 #include "util/hash.hpp"
 
 namespace edgesched::sched {
+
+Schedule Scheduler::schedule(const dag::TaskGraph& graph,
+                             const PlatformContext& platform) const {
+  // Default: schedulers that derive nothing per-topology (the classic
+  // model, the search metaheuristics) gain nothing from the context and
+  // simply schedule against its topology.
+  return schedule(graph, platform.topology());
+}
 
 void Scheduler::check_inputs(const dag::TaskGraph& graph,
                              const net::Topology& topology) {

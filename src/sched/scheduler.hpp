@@ -12,6 +12,8 @@
 
 namespace edgesched::sched {
 
+class PlatformContext;  // sched/platform.hpp
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -21,6 +23,16 @@ class Scheduler {
   /// mutually reachable.
   [[nodiscard]] virtual Schedule schedule(
       const dag::TaskGraph& graph, const net::Topology& topology) const = 0;
+
+  /// Schedules against a shared, immutable `PlatformContext` (one
+  /// per-topology snapshot amortised across many runs; see
+  /// sched/platform.hpp). Must return a schedule byte-identical to
+  /// `schedule(graph, context.topology())`. The default forwards to the
+  /// raw-topology overload — correct for every scheduler; the
+  /// engine-backed ones override it to reuse the context's route table
+  /// and pooled workspaces.
+  [[nodiscard]] virtual Schedule schedule(
+      const dag::TaskGraph& graph, const PlatformContext& platform) const;
 
   /// Short display name ("BA", "OIHSA", "BBSA", ...).
   [[nodiscard]] virtual std::string name() const = 0;

@@ -10,6 +10,7 @@
 #include "sched/ba.hpp"
 #include "sched/bbsa.hpp"
 #include "sched/oihsa.hpp"
+#include "sched/platform.hpp"
 #include "sched/validator.hpp"
 #include "svc/thread_pool.hpp"
 #include "util/env.hpp"
@@ -22,9 +23,13 @@ InstanceResult run_instance(
     bool validate_schedules) {
   InstanceResult result;
   result.makespans.reserve(schedulers.size());
+  // One platform snapshot per instance: every sweep scheduler reuses the
+  // same route table and derived reductions instead of re-deriving them
+  // (byte-identical to the per-call path; see sched/platform.hpp).
+  const sched::PlatformContext platform(instance.topology);
   for (const auto& scheduler : schedulers) {
     const sched::Schedule schedule =
-        scheduler->schedule(instance.graph, instance.topology);
+        scheduler->schedule(instance.graph, platform);
     if (validate_schedules) {
       sched::validate_or_throw(instance.graph, instance.topology, schedule);
     }

@@ -11,6 +11,12 @@
 // single mutex guards the LRU list, the index and the counters. Cached
 // values are handed out as shared_ptr<const V>, so an entry evicted
 // while a client still holds the pointer stays alive for that client.
+//
+// Besides the snapshot `stats()`, a cache can mirror its traffic into
+// registry counters (`bind_counters`): each get() bumps the bound hit
+// or miss counter exactly once, each eviction the eviction counter, so
+// the `*_{hits,misses,evictions}_total` series the metrics snapshot
+// exports track stats() one-for-one.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +27,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "svc/metrics.hpp"
 #include "util/error.hpp"
 
 namespace edgesched::svc {
@@ -50,6 +57,17 @@ class LruCache {
     throw_if(capacity == 0, "LruCache: capacity must be >= 1");
   }
 
+  /// Mirrors cache traffic into externally owned counters (typically a
+  /// MetricsRegistry's `*_total` series): every subsequent hit, miss and
+  /// eviction increments the corresponding counter once. Null pointers
+  /// disable the respective mirror. The counters must outlive the cache.
+  void bind_counters(Counter* hits, Counter* misses, Counter* evictions) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hits_counter_ = hits;
+    misses_counter_ = misses;
+    evictions_counter_ = evictions;
+  }
+
   /// Returns the cached value and refreshes its LRU position, or nullptr
   /// on a miss. Counts a hit or a miss.
   [[nodiscard]] ValuePtr get(std::uint64_t key) {
@@ -57,9 +75,15 @@ class LruCache {
     const auto it = index_.find(key);
     if (it == index_.end()) {
       ++stats_.misses;
+      if (misses_counter_ != nullptr) {
+        misses_counter_->increment();
+      }
       return nullptr;
     }
     ++stats_.hits;
+    if (hits_counter_ != nullptr) {
+      hits_counter_->increment();
+    }
     lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
     return it->second->second;
   }
@@ -78,6 +102,9 @@ class LruCache {
       index_.erase(lru_.back().first);
       lru_.pop_back();
       ++stats_.evictions;
+      if (evictions_counter_ != nullptr) {
+        evictions_counter_->increment();
+      }
     }
     lru_.emplace_front(key, std::move(value));
     index_.emplace(key, lru_.begin());
@@ -109,6 +136,9 @@ class LruCache {
   LruList lru_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, typename LruList::iterator> index_;
   CacheStats stats_;
+  Counter* hits_counter_ = nullptr;       ///< see bind_counters()
+  Counter* misses_counter_ = nullptr;
+  Counter* evictions_counter_ = nullptr;
 };
 
 }  // namespace edgesched::svc

@@ -17,16 +17,28 @@ SchedulerService::SchedulerService(ServiceConfig config)
     : config_(config),
       cache_(config.cache_capacity),
       exec_cache_(config.exec_cache_capacity),
+      platform_cache_(config.platform_cache_capacity),
       pool_(config.threads),
       requests_(metrics_.counter("svc_requests_total")),
-      cache_hits_(metrics_.counter("svc_cache_hits_total")),
-      cache_misses_(metrics_.counter("svc_cache_misses_total")),
       failures_(metrics_.counter("svc_failures_total")),
       latency_(metrics_.histogram("svc_schedule_seconds")),
       exec_requests_(metrics_.counter("svc_exec_requests_total")),
-      exec_cache_hits_(metrics_.counter("svc_exec_cache_hits_total")),
-      exec_cache_misses_(metrics_.counter("svc_exec_cache_misses_total")),
-      exec_latency_(metrics_.histogram("svc_execute_seconds")) {}
+      exec_latency_(metrics_.histogram("svc_execute_seconds")) {
+  // All three caches mirror their traffic into registry counters so the
+  // metrics snapshot exports them uniformly (satellite: shared LRU
+  // bookkeeping + *_total series per cache).
+  cache_.bind_counters(&metrics_.counter("svc_cache_hits_total"),
+                       &metrics_.counter("svc_cache_misses_total"),
+                       &metrics_.counter("svc_cache_evictions_total"));
+  exec_cache_.bind_counters(
+      &metrics_.counter("svc_exec_cache_hits_total"),
+      &metrics_.counter("svc_exec_cache_misses_total"),
+      &metrics_.counter("svc_exec_cache_evictions_total"));
+  platform_cache_.bind_counters(
+      &metrics_.counter("svc_platform_cache_hits_total"),
+      &metrics_.counter("svc_platform_cache_misses_total"),
+      &metrics_.counter("svc_platform_cache_evictions_total"));
+}
 
 SchedulerService::~SchedulerService() { shutdown(); }
 
@@ -35,14 +47,49 @@ std::unique_ptr<sched::Scheduler> SchedulerService::make_scheduler(
   return sched::make_scheduler(name);
 }
 
+std::shared_ptr<const sched::Scheduler> SchedulerService::scheduler_for(
+    std::string_view name) {
+  const sched::AlgorithmEntry* entry = sched::find_algorithm(name);
+  if (entry == nullptr) {
+    // Delegates the error path: make_scheduler throws the canonical
+    // invalid_argument listing the known keys.
+    return make_scheduler(name);
+  }
+  const std::lock_guard<std::mutex> lock(scheduler_mutex_);
+  auto it = schedulers_.find(entry->key);
+  if (it == schedulers_.end()) {
+    it = schedulers_.emplace(entry->key, entry->make()).first;
+  }
+  return it->second;
+}
+
+std::shared_ptr<const sched::PlatformContext> SchedulerService::platform_for(
+    const std::shared_ptr<const net::Topology>& topology) {
+  if (!config_.share_platform) {
+    // Ablation/benchmark mode: pay the full per-job derivation cost.
+    return std::make_shared<const sched::PlatformContext>(topology);
+  }
+  const std::uint64_t key = topology->fingerprint();
+  if (PlatformCache::ValuePtr cached = platform_cache_.get(key)) {
+    return cached;
+  }
+  // Concurrent misses both build; last put wins. The contexts are
+  // equivalent (derived deterministically from the same topology), so
+  // either result is correct for every racer.
+  auto built = std::make_shared<const sched::PlatformContext>(topology);
+  platform_cache_.put(key, built);
+  return built;
+}
+
 std::future<SchedulerService::SchedulePtr> SchedulerService::submit(
     std::shared_ptr<const dag::TaskGraph> graph,
     std::shared_ptr<const net::Topology> topology,
     const std::string& algorithm) {
   // Resolve the algorithm up front: unknown names should fail loudly at
-  // the call site, not asynchronously.
+  // the call site, not asynchronously. Resolution is memoised per
+  // canonical registry key (see scheduler_for).
   return submit_scheduler(std::move(graph), std::move(topology),
-                          make_scheduler(algorithm));
+                          scheduler_for(algorithm));
 }
 
 std::future<SchedulerService::SchedulePtr> SchedulerService::submit(
@@ -58,7 +105,7 @@ std::future<SchedulerService::SchedulePtr> SchedulerService::submit(
 std::future<SchedulerService::SchedulePtr> SchedulerService::submit_scheduler(
     std::shared_ptr<const dag::TaskGraph> graph,
     std::shared_ptr<const net::Topology> topology,
-    std::unique_ptr<sched::Scheduler> scheduler) {
+    std::shared_ptr<const sched::Scheduler> scheduler) {
   throw_if(graph == nullptr, "SchedulerService::submit: null graph");
   throw_if(topology == nullptr, "SchedulerService::submit: null topology");
   requests_.increment();
@@ -75,28 +122,28 @@ std::future<SchedulerService::SchedulePtr> SchedulerService::submit_scheduler(
   const std::uint64_t key =
       request_fingerprint(*graph, *topology, scheduler->fingerprint());
   if (SchedulePtr cached = cache_.get(key)) {
-    cache_hits_.increment();
     obs::flight_recorder().record(obs::FlightEventKind::kCache,
                                   "svc/schedule", 0.0, 1);
     std::promise<SchedulePtr> ready;
     ready.set_value(std::move(cached));
     return ready.get_future();
   }
-  cache_misses_.increment();
   obs::flight_recorder().record(obs::FlightEventKind::kCache, "svc/schedule",
                                 0.0, 0);
 
-  // shared_ptr<Scheduler> because the lambda must be copyable for
-  // std::function (see ThreadPool::submit).
-  std::shared_ptr<sched::Scheduler> shared_scheduler = std::move(scheduler);
   return pool_.submit([this, key, run_id, graph = std::move(graph),
                        topology = std::move(topology),
-                       shared_scheduler]() -> SchedulePtr {
+                       scheduler = std::move(scheduler)]() -> SchedulePtr {
     const obs::ScopedRunId run_scope(run_id);
     const auto start = std::chrono::steady_clock::now();
     try {
+      // Resolve the shared per-topology platform on the worker: the
+      // derived state (route table, reductions, workspace pool) is built
+      // once per fabric and reused by every job that follows.
+      const std::shared_ptr<const sched::PlatformContext> platform =
+          platform_for(topology);
       auto schedule = std::make_shared<const sched::Schedule>(
-          shared_scheduler->schedule(*graph, *topology));
+          scheduler->schedule(*graph, *platform));
       if (config_.validate) {
         sched::validate_or_throw(*graph, *topology, *schedule);
       }
@@ -139,14 +186,12 @@ std::future<SchedulerService::ExecutionPtr> SchedulerService::execute(
   const std::uint64_t key =
       request_fingerprint(*graph, *topology, request.value());
   if (ExecutionPtr cached = exec_cache_.get(key)) {
-    exec_cache_hits_.increment();
     obs::flight_recorder().record(obs::FlightEventKind::kCache, "svc/execute",
                                   0.0, 1);
     std::promise<ExecutionPtr> ready;
     ready.set_value(std::move(cached));
     return ready.get_future();
   }
-  exec_cache_misses_.increment();
   obs::flight_recorder().record(obs::FlightEventKind::kCache, "svc/execute",
                                 0.0, 0);
 

@@ -21,26 +21,45 @@
 //
 // Every accepted request increments `svc_requests_total`; completed
 // schedules record their wall-clock latency in `svc_schedule_seconds`,
-// and cache traffic shows up both in the cache's own stats() and in the
-// `svc_cache_{hits,misses}_total` counters.
+// and cache traffic shows up both in each cache's own stats() and in
+// the `svc_{,exec_,platform_}cache_{hits,misses,evictions}_total`
+// counters (bound via LruCache::bind_counters, so the metrics snapshot
+// exports all three caches uniformly).
+//
+// Beyond the result caches the service amortises two kinds of
+// per-request setup:
+//
+//   * Schedulers resolved by registry name are memoised (one instance
+//     per canonical key, shared by every job) — repeated submissions
+//     stop re-validating the spec and re-interning span names.
+//   * A content-addressed `PlatformCache` keyed by
+//     `Topology::fingerprint()` shares one immutable
+//     `sched::PlatformContext` — all-pairs route table, cached
+//     reductions, pooled per-run workspaces — across every job against
+//     the same fabric (sched/platform.hpp; `share_platform` disables
+//     the sharing for ablation/benchmarking).
 //
 // Concurrency notes: all members are thread-safe. Two concurrent submits
 // of the same not-yet-cached request both compute (last put wins) — the
 // cache deduplicates storage, not in-flight work; for the pure functions
-// served here recomputation is merely redundant, never wrong.
+// served here recomputation is merely redundant, never wrong. The same
+// holds for two jobs racing to build one platform context.
 #pragma once
 
 #include <cstddef>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "dag/task_graph.hpp"
 #include "exec/executor.hpp"
 #include "exec/report.hpp"
 #include "net/topology.hpp"
 #include "sched/algorithm_spec.hpp"
+#include "sched/platform.hpp"
 #include "sched/scheduler.hpp"
 #include "svc/lru_cache.hpp"
 #include "svc/metrics.hpp"
@@ -56,6 +75,14 @@ struct ServiceConfig {
   std::size_t cache_capacity = 1024;
   /// Maximum cached execution reports (LRU beyond that).
   std::size_t exec_cache_capacity = 256;
+  /// Maximum cached platform contexts (LRU beyond that). Contexts are
+  /// per-topology, so this bounds the number of distinct fabrics whose
+  /// derived state stays resident.
+  std::size_t platform_cache_capacity = 64;
+  /// Share one PlatformContext per topology across jobs (the platform
+  /// cache). False rebuilds the context for every job — the cold
+  /// baseline bench/service_throughput measures against.
+  bool share_platform = true;
   /// Run every computed schedule through sched::validate_or_throw.
   bool validate = false;
 };
@@ -63,6 +90,10 @@ struct ServiceConfig {
 /// Content-addressed LRU cache of execution reports; execution is as pure
 /// as scheduling (seeded model, scripted faults), so replays memoise too.
 using ExecutionCache = LruCache<exec::ExecutionReport>;
+
+/// Content-addressed LRU cache of immutable per-topology platform
+/// contexts, keyed by `Topology::fingerprint()`.
+using PlatformCache = LruCache<sched::PlatformContext>;
 
 class SchedulerService {
  public:
@@ -125,6 +156,9 @@ class SchedulerService {
   [[nodiscard]] const ExecutionCache& execution_cache() const noexcept {
     return exec_cache_;
   }
+  [[nodiscard]] const PlatformCache& platform_cache() const noexcept {
+    return platform_cache_;
+  }
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] std::size_t num_threads() const noexcept {
     return pool_.num_threads();
@@ -140,28 +174,44 @@ class SchedulerService {
   [[nodiscard]] static std::unique_ptr<sched::Scheduler> make_scheduler(
       std::string_view name);
 
+  /// Memoised variant of `make_scheduler`: one shared scheduler instance
+  /// per canonical registry key (aliases and case variants share), so
+  /// repeated submissions of the same algorithm skip spec validation and
+  /// span-name interning. Schedulers are stateless between runs, hence
+  /// safe to share across pool workers. Throws std::invalid_argument for
+  /// unknown names.
+  [[nodiscard]] std::shared_ptr<const sched::Scheduler> scheduler_for(
+      std::string_view name);
+
  private:
   /// Common path: cache by the scheduler's structural fingerprint, or
   /// compute on the pool.
   [[nodiscard]] std::future<SchedulePtr> submit_scheduler(
       std::shared_ptr<const dag::TaskGraph> graph,
       std::shared_ptr<const net::Topology> topology,
-      std::unique_ptr<sched::Scheduler> scheduler);
+      std::shared_ptr<const sched::Scheduler> scheduler);
+
+  /// Returns the shared platform context for `topology`, building and
+  /// caching it on first sight (keyed by content fingerprint). Called on
+  /// worker threads; concurrent builds of the same context are benign
+  /// (last put wins, both results equivalent).
+  [[nodiscard]] std::shared_ptr<const sched::PlatformContext> platform_for(
+      const std::shared_ptr<const net::Topology>& topology);
 
   ServiceConfig config_;
   MetricsRegistry metrics_;
   ScheduleCache cache_;
   ExecutionCache exec_cache_;
+  PlatformCache platform_cache_;
   ThreadPool pool_;
   Counter& requests_;
-  Counter& cache_hits_;
-  Counter& cache_misses_;
   Counter& failures_;
   Histogram& latency_;
   Counter& exec_requests_;
-  Counter& exec_cache_hits_;
-  Counter& exec_cache_misses_;
   Histogram& exec_latency_;
+  std::mutex scheduler_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const sched::Scheduler>>
+      schedulers_;  ///< keyed by canonical registry key; see scheduler_for
 };
 
 }  // namespace edgesched::svc
