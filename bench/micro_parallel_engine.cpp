@@ -1,0 +1,216 @@
+// Intra-run parallelism thread sweep: one engine run at 1/2/4/8 worker
+// lanes over 16/64/256-processor fat trees.
+//
+// The parallel candidate scan (sched/intra_run.hpp, util/parallel_for)
+// promises byte-identical schedules at every lane count, so the only
+// question left is how much wall-clock the lanes buy. The scan
+// parallelises the per-task processor loop, so the win grows with the
+// processor count: a 16-processor scan barely covers the dispatch cost,
+// a 256-processor scan is where the engine spends almost all of its
+// time (see docs/performance.md item 11). This bench pins both ends.
+//
+// Each (processors, threads) cell schedules the same DAG batch through
+// one shared PlatformContext — lane workers lease pooled workspaces
+// exactly as a service job would — and reports best-of ns per schedule.
+// The sweep also cross-checks the determinism contract: every cell's
+// makespans must equal the serial cell's bit for bit.
+//
+// Knobs (environment):
+//   EDGESCHED_PAR_DAGS            DAGs per measured batch (default 6)
+//   EDGESCHED_PAR_TASKS           tasks per DAG (default 80)
+//   EDGESCHED_REPS                repetitions, best-of (default 3)
+//   EDGESCHED_MIN_PARALLEL_SPEEDUP  fail (exit 1) if the 4-thread
+//                                 speedup on 256 processors falls below
+//                                 this; 0 disables (CI sets it on
+//                                 multi-core runners; a 1-core container
+//                                 cannot measure a speedup)
+//
+// Outputs, to $EDGESCHED_BENCH_DIR (or the working directory):
+//   BENCH_micro_parallel_engine.json   telemetry: per-cell timings
+//   GBENCH_micro_parallel_engine.json  google-benchmark-shaped file for
+//                                      tools/bench_compare (ns/schedule)
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dag/generators.hpp"
+#include "net/builders.hpp"
+#include "obs/json.hpp"
+#include "sched/intra_run.hpp"
+#include "sched/platform.hpp"
+#include "sched/registry.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+#include "telemetry.hpp"
+
+namespace {
+
+using namespace edgesched;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4, 8};
+
+struct Cell {
+  std::size_t processors = 0;
+  std::size_t threads = 0;
+  double ns_per_schedule = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry("", &argc, argv);
+
+  const auto num_dags =
+      static_cast<std::size_t>(env_int("EDGESCHED_PAR_DAGS", 6));
+  const auto num_tasks =
+      static_cast<std::size_t>(env_int("EDGESCHED_PAR_TASKS", 80));
+  const auto reps = static_cast<std::size_t>(env_int("EDGESCHED_REPS", 3));
+  const std::string floor_env =
+      env_string("EDGESCHED_MIN_PARALLEL_SPEEDUP", "");
+  const double speedup_floor =
+      floor_env.empty() ? 0.0 : std::stod(floor_env);
+
+  // The selection-dominant preset: OIHSA's MLS-estimate scan probes a
+  // route per candidate processor, so per-task cost is dominated by the
+  // exact loop the lanes split.
+  const sched::AlgorithmEntry* entry = sched::find_algorithm("oihsa");
+  if (entry == nullptr) {
+    std::cerr << "micro_parallel_engine: oihsa not registered\n";
+    return 1;
+  }
+  const std::unique_ptr<sched::Scheduler> scheduler = entry->make();
+
+  std::vector<dag::TaskGraph> graphs;
+  graphs.reserve(num_dags);
+  for (std::size_t i = 0; i < num_dags; ++i) {
+    Rng dag_rng(1000 + i);
+    dag::LayeredDagParams params;
+    params.num_tasks = num_tasks;
+    graphs.push_back(dag::random_layered(params, dag_rng));
+  }
+
+  std::cout << "== parallel engine sweep: " << num_dags << " DAGs x "
+            << num_tasks << " tasks, " << entry->display
+            << ", best of " << reps << " ==\n";
+
+  const std::pair<std::size_t, std::size_t> fabrics[] = {
+      {4, 4}, {8, 8}, {16, 16}};  // 16 / 64 / 256 processors
+  std::vector<Cell> cells;
+  double serial_256_ns = 0.0;
+  double four_thread_256_ns = 0.0;
+  for (const auto& [pods, hosts] : fabrics) {
+    Rng topo_rng(20260807);
+    const net::Topology topology =
+        net::fat_tree(pods, hosts, net::SpeedConfig{}, topo_rng);
+    const sched::PlatformContext platform(topology);
+    const std::size_t procs = topology.num_processors();
+
+    // Serial reference makespans: the determinism cross-check below
+    // compares every parallel cell against these bit for bit.
+    std::vector<double> reference;
+    {
+      const sched::ScopedIntraThreads serial(1);
+      for (const dag::TaskGraph& graph : graphs) {
+        reference.push_back(
+            scheduler->schedule(graph, platform).makespan());
+      }
+    }
+
+    for (const std::size_t threads : kThreadCounts) {
+      const sched::ScopedIntraThreads scoped(threads);
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const auto begin = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < graphs.size(); ++i) {
+          const double makespan =
+              scheduler->schedule(graphs[i], platform).makespan();
+          if (std::memcmp(&reference[i], &makespan, sizeof(double)) !=
+              0) {
+            std::cerr << "micro_parallel_engine: " << threads
+                      << "-thread makespan diverged from serial on "
+                      << procs << " processors, DAG " << i << "\n";
+            return 1;
+          }
+        }
+        best = std::min(
+            best, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - begin)
+                      .count());
+      }
+      const double ns =
+          best * 1e9 / static_cast<double>(graphs.size());
+      cells.push_back(Cell{procs, threads, ns});
+      if (procs == 256 && threads == 1) {
+        serial_256_ns = ns;
+      }
+      if (procs == 256 && threads == 4) {
+        four_thread_256_ns = ns;
+      }
+      std::cout << procs << " procs, " << threads << " threads: "
+                << ns / 1e6 << " ms/schedule\n";
+    }
+  }
+
+  const double speedup = four_thread_256_ns > 0.0
+                             ? serial_256_ns / four_thread_256_ns
+                             : 0.0;
+  std::cout << "4-thread speedup on 256 processors: " << speedup << "x\n";
+
+  for (const Cell& cell : cells) {
+    telemetry.report().root().set(
+        "p" + std::to_string(cell.processors) + "_t" +
+            std::to_string(cell.threads) + "_ns",
+        cell.ns_per_schedule);
+  }
+  telemetry.report().root().set("dags", num_dags);
+  telemetry.report().root().set("tasks", num_tasks);
+  telemetry.report().root().set("speedup_4t_256p", speedup);
+
+  // Google-benchmark-shaped mirror so tools/bench_compare gates every
+  // cell like the other micros. Per-processor-count serial rows double
+  // as the scan-cost regression series.
+  obs::JsonValue gbench = obs::JsonValue::object();
+  obs::JsonValue context = obs::JsonValue::object();
+  context.set("executable", "micro_parallel_engine");
+  gbench.set("context", std::move(context));
+  obs::JsonValue benchmarks = obs::JsonValue::array();
+  for (const Cell& cell : cells) {
+    obs::JsonValue row = obs::JsonValue::object();
+    row.set("name", "micro_parallel_engine/procs:" +
+                        std::to_string(cell.processors) +
+                        "/threads:" + std::to_string(cell.threads));
+    row.set("run_type", "iteration");
+    row.set("iterations", 1);
+    row.set("real_time", cell.ns_per_schedule);
+    row.set("cpu_time", cell.ns_per_schedule);
+    row.set("time_unit", "ns");
+    benchmarks.push(std::move(row));
+  }
+  gbench.set("benchmarks", std::move(benchmarks));
+  const std::string dir = env_string("EDGESCHED_BENCH_DIR", ".");
+  const std::string gbench_path =
+      dir + "/GBENCH_micro_parallel_engine.json";
+  std::ofstream out(gbench_path);
+  if (!out) {
+    std::cerr << "micro_parallel_engine: cannot open " << gbench_path
+              << "\n";
+    return 1;
+  }
+  gbench.write(out, 2);
+  out << "\n";
+  std::cerr << "micro_parallel_engine: wrote " << gbench_path << "\n";
+
+  if (speedup_floor > 0.0 && speedup < speedup_floor) {
+    std::cerr << "micro_parallel_engine: 4-thread speedup " << speedup
+              << "x below required " << speedup_floor << "x\n";
+    return 1;
+  }
+  return 0;
+}

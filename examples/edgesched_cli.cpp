@@ -8,6 +8,7 @@
 //                 [--heterogeneous] [--seed S]
 //                 [--algorithm NAME] [--list-algorithms]
 //                 [--ccr X] [--output schedule|metrics|gantt|trace|dot]
+//                 [--intra-threads N]
 //
 //   edgesched_cli run <same instance flags>
 //                 [--jitter X] [--bw-jitter X] [--exec-seed S]
@@ -66,6 +67,7 @@
 #include "obs/metrics_snapshot.hpp"
 #include "obs/run_context.hpp"
 #include "obs/trace.hpp"
+#include "sched/intra_run.hpp"
 #include "sched/metrics.hpp"
 #include "sched/registry.hpp"
 #include "sched/trace_export.hpp"
@@ -122,6 +124,9 @@ struct Args {
          "         [--algorithm NAME] [--list-algorithms]\n"
          "         [--ccr X]\n"
          "         [--output schedule|metrics|gantt|trace|dot]\n"
+         "         [--intra-threads N]  (0 = all cores; schedules are\n"
+         "          byte-identical at every N; default 1 or\n"
+         "          EDGESCHED_INTRA_THREADS)\n"
          "   or: edgesched_cli run <instance flags>\n"
          "         [--jitter X] [--bw-jitter X] [--exec-seed S]\n"
          "         [--fault-rate R] [--link-fault-rate R]\n"
@@ -183,6 +188,11 @@ Args parse(int argc, char** argv) {
       args.ccr = std::stod(next(i));
     } else if (flag == "--output") {
       args.output = next(i);
+    } else if (flag == "--intra-threads") {
+      // Process-global: both the direct schedule and any recovery
+      // replans fan their candidate scans across this many workers.
+      sched::set_intra_run_threads(
+          static_cast<std::size_t>(std::stoul(next(i))));
     } else if (args.run && flag == "--jitter") {
       args.jitter = std::stod(next(i));
     } else if (args.run && flag == "--bw-jitter") {

@@ -130,12 +130,16 @@ const Route& StaticRouteTable::route(NodeId from, NodeId to) const {
   return shard.routes[to.index()];
 }
 
-ProbedRouteCache::~ProbedRouteCache() {
+ProbedRouteCache::~ProbedRouteCache() { flush_tallies(); }
+
+void ProbedRouteCache::flush_tallies() {
   if (hits_ > 0) {
     obs::hot_counters().route_memo_hits.increment(hits_);
+    hits_ = 0;
   }
   if (misses_ > 0) {
     obs::hot_counters().route_memo_misses.increment(misses_);
+    misses_ = 0;
   }
 }
 

@@ -154,6 +154,12 @@ class ProbedRouteCache {
   /// begun-again one are behaviourally identical, misses included.
   void begin_run() noexcept { ++run_epoch_; }
 
+  /// Flushes the accumulated hit/miss tallies into the global counters
+  /// and zeroes them. The engine calls this at the end of every run so
+  /// pooled memos report deterministically per run instead of only when
+  /// the owning pool dies; the destructor flushes any remainder.
+  void flush_tallies();
+
   /// The memoised route for the identical query, or nullptr on miss.
   [[nodiscard]] const Route* lookup(NodeId from, NodeId to, double ready,
                                     double cost, std::uint64_t generation);
@@ -266,6 +272,32 @@ class RoutingWorkspace {
  public:
   RoutingWorkspace() = default;
 
+  /// Flushes any relaxations still batched in this workspace (one-off
+  /// searches with local scratch reach the global counter this way; the
+  /// engine flushes its per-run workspaces explicitly).
+  ~RoutingWorkspace() { flush_relaxations(); }
+
+  RoutingWorkspace(const RoutingWorkspace&) = delete;
+  RoutingWorkspace& operator=(const RoutingWorkspace&) = delete;
+
+  /// Batches `count` Dijkstra relaxations into this workspace — a plain
+  /// member add, no atomic. `dijkstra_route_probe` accumulates here per
+  /// search; the one atomic add happens in `flush_relaxations`, once per
+  /// run (or at destruction), so a run routing thousands of edges
+  /// touches the global registry once instead of once per search.
+  void add_relaxations(std::uint64_t count) noexcept {
+    relaxations_ += count;
+  }
+
+  /// Flushes the batched relaxation tally into
+  /// `sched_dijkstra_relaxations_total` and zeroes it.
+  void flush_relaxations() {
+    if (relaxations_ > 0) {
+      obs::hot_counters().dijkstra_relaxations.increment(relaxations_);
+      relaxations_ = 0;
+    }
+  }
+
   /// Starts a new search over `num_nodes` nodes: sizes the arrays,
   /// bumps the epoch and clears the heap (capacity retained).
   void begin_search(std::size_t num_nodes) {
@@ -296,6 +328,7 @@ class RoutingWorkspace {
   std::vector<std::uint64_t> stamps_;
   std::uint64_t epoch_ = 0;
   std::vector<detail::DijkstraQueueEntry> heap_;
+  std::uint64_t relaxations_ = 0;  ///< batched counter, flushed per run
 };
 
 /// Per-run routing scratch state, bundled so a routing policy owns one
@@ -315,6 +348,16 @@ struct RoutingScratch {
 
   /// Marks the start of a new run on this (possibly pooled) scratch.
   void begin_run() noexcept { memo.begin_run(); }
+
+  /// Flushes every counter batched in this scratch (Dijkstra
+  /// relaxations, memo hits/misses) into the global registry. The engine
+  /// calls this at end of run so pooled scratch reports deterministically
+  /// per run — counter totals are then identical however many workers
+  /// shared the run and whether the workspace was fresh or recycled.
+  void flush_counters() {
+    workspace.flush_relaxations();
+    memo.flush_tallies();
+  }
 };
 
 /// Dynamic Dijkstra over tentative edge finish times (modified routing).
@@ -344,16 +387,15 @@ template <typename Probe>
   RoutingWorkspace& ws = workspace != nullptr ? *workspace : local;
   ws.begin_search(topology.num_nodes());
 
-  // Relaxation tally, flushed as one atomic add however the search ends
-  // (batching keeps the per-relaxation cost a plain increment).
+  // Relaxation tally, batched into the workspace however the search ends
+  // (per-relaxation cost stays a plain increment; the workspace flushes
+  // one atomic add per run — or at destruction for one-off local scratch
+  // — instead of one per search).
   struct RelaxationTally {
+    RoutingWorkspace& sink;
     std::uint64_t count = 0;
-    ~RelaxationTally() {
-      if (count > 0) {
-        obs::hot_counters().dijkstra_relaxations.increment(count);
-      }
-    }
-  } relaxations;
+    ~RelaxationTally() { sink.add_relaxations(count); }
+  } relaxations{ws};
 
   using detail::DijkstraQueueEntry;
   std::vector<DijkstraQueueEntry>& frontier = ws.heap();

@@ -24,6 +24,7 @@ HotCounters& hot_counters() {
         m.counter("net_route_memo_misses_total"),
         m.counter("sched_probe_gap_steps_total"),
         m.counter("sched_optimal_scan_steps_total"),
+        m.counter("sched_candidates_evaluated_total"),
         m.counter("sched_tasks_placed_total"),
         m.counter("sched_edges_routed_total"),
         m.counter("svc_pool_jobs_total"),

@@ -38,6 +38,7 @@ struct HotCounters {
   svc::Counter& route_memo_misses;  ///< probe-route memo recomputations
   svc::Counter& probe_gap_steps;    ///< idle intervals examined by probes
   svc::Counter& optimal_scan_steps; ///< slots visited by the accum scan
+  svc::Counter& candidates_evaluated;  ///< processor candidates scored
   svc::Counter& tasks_placed;
   svc::Counter& edges_routed;  ///< remote edges committed to the network
   svc::Counter& pool_jobs;     ///< svc::ThreadPool jobs executed

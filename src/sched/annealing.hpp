@@ -4,6 +4,12 @@
 // search state is a task→processor map; a move reassigns one random task;
 // fitness is the contention-aware fixed-assignment makespan. Geometric
 // cooling with Metropolis acceptance, started from the OIHSA assignment.
+//
+// Each iteration draws its move and acceptance uniform from its own
+// (seed, iteration)-keyed stream, so batches of speculative neighbors
+// evaluate across the intra-run worker team (sched/intra_run.hpp) while
+// the accept/reject walk stays bit-identical to the serial run at any
+// worker count. See docs/parallelism.md.
 #pragma once
 
 #include <cstdint>

@@ -11,12 +11,14 @@
 #include "obs/decision_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
+#include "sched/intra_run.hpp"
 #include "sched/network_model.hpp"
 #include "sched/network_state.hpp"
 #include "sched/policies.hpp"
 #include "sched/priorities.hpp"
 #include "sched/ready_queue.hpp"
 #include "util/error.hpp"
+#include "util/parallel_for.hpp"
 
 namespace edgesched::sched {
 
@@ -100,6 +102,42 @@ Schedule ListSchedulingEngine::run_impl(const dag::TaskGraph& graph,
   std::uint64_t edges_routed = 0;
   std::uint64_t tasks_placed = 0;
 
+  // Intra-run candidate-scan parallelism (docs/parallelism.md). When the
+  // selection policy scores processors independently and read-only, the
+  // engine owns the scan over the processor list — at EVERY worker
+  // count, including 1, so the serial path and the parallel path are the
+  // same code and the schedule is byte-identical at any setting. The
+  // scan writes per-processor scores into disjoint `static_chunk`
+  // ranges of `workspace.scores`; the reduction below walks them in
+  // processor-index order, reproducing exactly the serial policy's
+  // first-strict-minimum tie-break. Policies that mutate state between
+  // candidates (tentative EFT) keep their serial `select` call.
+  const std::vector<net::NodeId>& processors = topology.processors();
+  const bool scan_capable =
+      selection->supports_candidate_scan() && !processors.empty();
+  const std::size_t lanes =
+      scan_capable
+          ? std::min(intra_run_threads(),
+                     std::max<std::size_t>(std::size_t{1}, processors.size()))
+          : std::size_t{1};
+  util::WorkerTeam team(lanes);
+  // Per-lane counter sinks: lane 0 batches into the run's own workspace;
+  // each extra lane leases a pooled workspace (or owns fresh scratch on
+  // standalone runs) so workers never contend on a shared tally.
+  std::vector<Workspace*> lane_workspaces{&workspace};
+  std::vector<std::unique_ptr<WorkspaceLease>> lane_leases;
+  std::vector<std::unique_ptr<Workspace>> lane_owned;
+  for (std::size_t lane = 1; lane < team.lanes(); ++lane) {
+    if (platform != nullptr) {
+      lane_leases.push_back(std::make_unique<WorkspaceLease>(*platform));
+      lane_workspaces.push_back(&**lane_leases.back());
+    } else {
+      lane_owned.push_back(std::make_unique<Workspace>());
+      lane_workspaces.push_back(lane_owned.back().get());
+    }
+    lane_workspaces.back()->begin_run();
+  }
+
   dag::TaskId task;
   while (ready.pop(task)) {
     const double weight = graph.weight(task);
@@ -123,8 +161,46 @@ Schedule ListSchedulingEngine::run_impl(const dag::TaskGraph& graph,
     candidates.clear();
     {
       obs::Span select_span(names_.select_processor, "sched", task.value());
-      choice = selection->select(state, task, weight, ready_moment, in,
-                                 log != nullptr ? &candidates : nullptr);
+      if (scan_capable) {
+        // Speculative read-only scan: every lane probes the machine
+        // timelines concurrently, nothing commits until the winner is
+        // known. The revision/generation assertion pins that contract.
+        std::vector<obs::ProcessorCandidate>& scores = workspace.scores;
+        scores.resize(processors.size());
+        const std::uint64_t machines_before = machines.revision();
+        const std::uint64_t network_before = network->generation();
+        const ProcessorSelectionPolicy& policy = *selection;
+        team.run(processors.size(), [&](std::size_t lane, std::size_t begin,
+                                        std::size_t end) {
+          for (std::size_t p = begin; p < end; ++p) {
+            scores[p] = policy.score_candidate(state, task, weight,
+                                               ready_moment, in,
+                                               processors[p]);
+          }
+          lane_workspaces[lane]->candidates_evaluated +=
+              static_cast<std::uint64_t>(end - begin);
+        });
+        EDGESCHED_ASSERT_MSG(machines.revision() == machines_before &&
+                                 network->generation() == network_before,
+                             "candidate scan mutated engine state");
+        // Deterministic reduction: first strict minimum of the score in
+        // processor-index order — byte-identical to the serial loop's
+        // `if (finish < best_finish)` at any lane count.
+        std::size_t best = 0;
+        for (std::size_t p = 1; p < scores.size(); ++p) {
+          if (scores[p].estimate < scores[best].estimate) {
+            best = p;
+          }
+        }
+        choice = ProcessorSelectionPolicy::Choice{
+            processors[best], scores[best].estimate, -1.0};
+        if (log != nullptr) {
+          candidates.assign(scores.begin(), scores.end());
+        }
+      } else {
+        choice = selection->select(state, task, weight, ready_moment, in,
+                                   log != nullptr ? &candidates : nullptr);
+      }
     }
     if (log != nullptr) {
       log->record(obs::TaskDecision{
@@ -192,6 +268,13 @@ Schedule ListSchedulingEngine::run_impl(const dag::TaskGraph& graph,
   counters.tasks_placed.increment(tasks_placed);
   if (edges_routed > 0) {
     counters.edges_routed.increment(edges_routed);
+  }
+  // Deterministic per-run counter flush: every lane's batched tallies
+  // (candidate evaluations, Dijkstra relaxations, memo traffic) reach
+  // the global registry here, so totals are identical at every worker
+  // count and whether the workspaces were fresh or recycled.
+  for (Workspace* lane_workspace : lane_workspaces) {
+    lane_workspace->flush_counters();
   }
   // One coarse flight-recorder milestone per schedule() call — not per
   // task or edge — so the always-on recorder stays off the hot path.

@@ -13,7 +13,15 @@
 // The engine also instruments uniformly: spans named "<algo>/schedule",
 // "<algo>/select_processor" and "<algo>/route_edge" (obs/naming.hpp),
 // task/edge decision records when a DecisionLog is active, and batched
-// tasks-placed / edges-routed counters.
+// tasks-placed / edges-routed / candidates-evaluated counters.
+//
+// For selection policies that score processors independently and
+// read-only (blind EFT, the MLS estimate), the engine owns the per-task
+// candidate scan and may fan it across an intra-run worker team
+// (sched/intra_run.hpp). The scan is speculative — workers probe the
+// timelines concurrently, nothing commits until a deterministic
+// reduction picks the winner — and byte-identical to the serial loop at
+// every worker count. See docs/parallelism.md for the contract.
 #pragma once
 
 #include <cstdint>

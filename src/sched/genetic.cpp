@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <limits>
 #include <utility>
+#include <vector>
 
 #include "sched/ba.hpp"
+#include "sched/intra_run.hpp"
 #include "sched/oihsa.hpp"
+#include "util/hash.hpp"
+#include "util/parallel_for.hpp"
 #include "util/rng.hpp"
 
 namespace edgesched::sched {
@@ -16,6 +20,22 @@ struct Individual {
   Assignment genes;
   double fitness = std::numeric_limits<double>::infinity();
 };
+
+/// Decorrelated per-member RNG stream. Every stochastic member of the
+/// search — immigrant i at phase 0, offspring k of generation g at phase
+/// g+1 — draws all of its randomness from its own generator seeded by
+/// (seed, phase, member). The draw sequence is therefore a function of
+/// the member's identity, not of execution order, which is what lets the
+/// population evaluate in parallel while staying bit-identical to the
+/// serial schedule at any worker count (docs/parallelism.md).
+Rng member_stream(std::uint64_t seed, std::uint64_t phase,
+                  std::uint64_t member) {
+  Fingerprint fp;
+  fp.mix(seed);
+  fp.mix(phase);
+  fp.mix(member);
+  return Rng(fp.value());
+}
 
 Assignment random_assignment(const dag::TaskGraph& graph,
                              const net::Topology& topology, Rng& rng) {
@@ -46,16 +66,17 @@ GeneticScheduler::GeneticScheduler(const Options& options)
 Schedule GeneticScheduler::schedule(const dag::TaskGraph& graph,
                                     const net::Topology& topology) const {
   check_inputs(graph, topology);
-  Rng rng(options_.seed);
-  const auto& processors = topology.processors();
 
   const auto evaluate = [&](const Assignment& genes) {
+    // Pure: owns all of its scratch, so concurrent evaluations over one
+    // population are safe (and never nest — the fixed-assignment replay
+    // does not run the engine's candidate scan).
     return assignment_makespan(graph, topology, genes,
                                options_.evaluation);
   };
 
   // Population: the two list-scheduler assignments seed the search, the
-  // rest are random immigrants.
+  // rest are random immigrants, each drawn from its own member stream.
   std::vector<Individual> population;
   population.reserve(options_.population);
   population.push_back(Individual{
@@ -64,50 +85,65 @@ Schedule GeneticScheduler::schedule(const dag::TaskGraph& graph,
       assignment_of(graph, BasicAlgorithm{}.schedule(graph, topology)),
       0.0});
   while (population.size() < options_.population) {
+    Rng rng = member_stream(options_.seed, 0, population.size());
     population.push_back(
         Individual{random_assignment(graph, topology, rng), 0.0});
   }
-  for (Individual& ind : population) {
-    ind.fitness = evaluate(ind.genes);
-  }
 
-  const auto tournament_pick = [&]() -> const Individual& {
-    const Individual* best = nullptr;
-    for (std::size_t i = 0; i < options_.tournament; ++i) {
-      const Individual& candidate =
-          population[rng.index(population.size())];
-      if (best == nullptr || candidate.fitness < best->fitness) {
-        best = &candidate;
-      }
-    }
-    return *best;
-  };
+  // One worker team for the whole search; generation and evaluation of
+  // every member fan across it. Serial at the default worker count of 1.
+  util::WorkerTeam team(
+      std::min(intra_run_threads(), options_.population));
+  team.run(population.size(),
+           [&](std::size_t /*lane*/, std::size_t begin, std::size_t end) {
+             for (std::size_t i = begin; i < end; ++i) {
+               population[i].fitness = evaluate(population[i].genes);
+             }
+           });
 
   const std::size_t offspring_count = std::max<std::size_t>(
       1, static_cast<std::size_t>(options_.replacement_fraction *
                                   static_cast<double>(
                                       options_.population)));
+  std::vector<Individual> offspring(offspring_count);
 
+  const auto& processors = topology.processors();
   for (std::size_t gen = 0; gen < options_.generations; ++gen) {
-    std::vector<Individual> offspring;
-    offspring.reserve(offspring_count);
-    for (std::size_t k = 0; k < offspring_count; ++k) {
-      const Individual& mother = tournament_pick();
-      const Individual& father = tournament_pick();
-      // Uniform crossover + per-gene mutation.
-      Individual child;
-      child.genes.resize(graph.num_tasks());
-      for (std::size_t g = 0; g < child.genes.size(); ++g) {
-        child.genes[g] =
-            rng.bernoulli(0.5) ? mother.genes[g] : father.genes[g];
-        if (rng.bernoulli(options_.mutation_rate)) {
-          child.genes[g] = processors[rng.index(processors.size())];
+    // Offspring k draws parents, crossover and mutation from its own
+    // stream and reads the population snapshot (constant until the
+    // serial replacement below), so members are order-independent.
+    team.run(offspring_count, [&](std::size_t /*lane*/, std::size_t begin,
+                                  std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        Rng rng = member_stream(options_.seed, gen + 1, k);
+        const auto tournament_pick = [&]() -> const Individual& {
+          const Individual* best = nullptr;
+          for (std::size_t i = 0; i < options_.tournament; ++i) {
+            const Individual& candidate =
+                population[rng.index(population.size())];
+            if (best == nullptr || candidate.fitness < best->fitness) {
+              best = &candidate;
+            }
+          }
+          return *best;
+        };
+        const Individual& mother = tournament_pick();
+        const Individual& father = tournament_pick();
+        // Uniform crossover + per-gene mutation.
+        Individual child;
+        child.genes.resize(graph.num_tasks());
+        for (std::size_t g = 0; g < child.genes.size(); ++g) {
+          child.genes[g] =
+              rng.bernoulli(0.5) ? mother.genes[g] : father.genes[g];
+          if (rng.bernoulli(options_.mutation_rate)) {
+            child.genes[g] = processors[rng.index(processors.size())];
+          }
         }
+        child.fitness = evaluate(child.genes);
+        offspring[k] = std::move(child);
       }
-      child.fitness = evaluate(child.genes);
-      offspring.push_back(std::move(child));
-    }
-    // Steady state: offspring replace the worst individuals.
+    });
+    // Steady state (serial): offspring replace the worst individuals.
     std::sort(population.begin(), population.end(),
               [](const Individual& a, const Individual& b) {
                 return a.fitness < b.fitness;

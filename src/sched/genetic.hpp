@@ -8,6 +8,12 @@
 // not the idealised model. Seeded with the OIHSA and BA assignments plus
 // random immigrants, it answers "how much makespan is left on the table
 // by the one-pass heuristics?" at a few hundred times their cost.
+//
+// Every immigrant and offspring draws all of its randomness from its own
+// (seed, phase, member)-keyed stream, so population generation and
+// fitness evaluation fan across the intra-run worker team
+// (sched/intra_run.hpp) while the search trajectory stays bit-identical
+// to the serial run at any worker count. See docs/parallelism.md.
 #pragma once
 
 #include <cstdint>

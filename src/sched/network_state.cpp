@@ -343,6 +343,7 @@ void MachineState::commit(net::NodeId processor, dag::TaskId task,
                           double start, double duration) {
   EDGESCHED_ASSERT(processor.index() < timelines_.size());
   timelines_[processor.index()].commit(task, start, duration);
+  ++revision_;
 }
 
 double MachineState::finish_time(net::NodeId processor) const {

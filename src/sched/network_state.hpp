@@ -228,6 +228,12 @@ class MachineState {
   /// t_f(P): current finish time of the processor.
   [[nodiscard]] double finish_time(net::NodeId processor) const;
 
+  /// Bumped on every `commit`. The engine's candidate scan snapshots it
+  /// before fanning workers out and asserts it unchanged after — the
+  /// scan is speculative and read-only, nothing may book a slot while
+  /// workers probe the timelines.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
   /// Arena pre-sizing: gives every timeline capacity for about
   /// `per_processor_hint` slots so a run sized once up front commits
   /// without reallocation in the common balanced case.
@@ -235,6 +241,7 @@ class MachineState {
 
  private:
   std::vector<timeline::ProcessorTimeline> timelines_;  ///< by node index
+  std::uint64_t revision_ = 0;  ///< commit count, see revision()
 };
 
 }  // namespace edgesched::sched

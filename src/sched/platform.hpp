@@ -56,12 +56,25 @@ struct Workspace {
   net::RoutingScratch routing;
   std::vector<dag::EdgeId> order_scratch;
   std::vector<obs::ProcessorCandidate> candidates;
+  /// Per-processor scores of one candidate scan: the engine sizes this
+  /// to the processor count, workers write disjoint chunks, the
+  /// reduction and the decision log read it back in index order.
+  std::vector<obs::ProcessorCandidate> scores;
+  /// Candidate-evaluation tally batched per run; `flush_counters` moves
+  /// it (and the routing scratch's batched tallies) into the global
+  /// registry so counter totals are identical at every worker count.
+  std::uint64_t candidates_evaluated = 0;
 
   void begin_run() {
     routing.begin_run();
     order_scratch.clear();
     candidates.clear();
+    scores.clear();
   }
+
+  /// Flushes every counter batched in this workspace into the global
+  /// registry. The engine calls this once per run per leased workspace.
+  void flush_counters();
 };
 
 class PlatformContext;

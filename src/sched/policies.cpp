@@ -29,27 +29,41 @@ BandwidthNetworkState& require_bandwidth(NetworkStateModel& network) {
 
 /// Communication-blind EFT: ready moment + execution time through the
 /// task placement policy (BA's paper reading, PACKET-BA).
+///
+/// Scan-capable: each candidate is scored from the machine timelines
+/// alone (const probes, no commits), so the engine may fan
+/// `score_candidate` across workers. `select` stays the one-call serial
+/// shape for callers outside the engine and runs the same arithmetic.
 class BlindEftSelection final : public ProcessorSelectionPolicy {
  public:
-  Choice select(const EngineState& state, dag::TaskId /*task*/,
-                double weight, double ready_moment,
-                const std::vector<dag::EdgeId>& /*in*/,
+  bool supports_candidate_scan() const override { return true; }
+
+  obs::ProcessorCandidate score_candidate(
+      const EngineState& state, dag::TaskId /*task*/, double weight,
+      double ready_moment, const std::vector<dag::EdgeId>& /*in*/,
+      net::NodeId processor) const override {
+    const double duration =
+        weight / state.topology.processor_speed(processor);
+    const double start = state.machines.start_for(
+        processor, ready_moment, duration, state.spec.task_insertion);
+    return obs::ProcessorCandidate{
+        static_cast<std::uint32_t>(processor.index()), ready_moment,
+        start + duration};
+  }
+
+  Choice select(const EngineState& state, dag::TaskId task, double weight,
+                double ready_moment, const std::vector<dag::EdgeId>& in,
                 std::vector<obs::ProcessorCandidate>* candidates) override {
     net::NodeId best_processor;
     double best_finish = std::numeric_limits<double>::infinity();
     for (net::NodeId processor : state.topology.processors()) {
-      const double duration =
-          weight / state.topology.processor_speed(processor);
-      const double start = state.machines.start_for(
-          processor, ready_moment, duration, state.spec.task_insertion);
-      const double finish = start + duration;
+      const obs::ProcessorCandidate candidate =
+          score_candidate(state, task, weight, ready_moment, in, processor);
       if (candidates != nullptr) {
-        candidates->push_back(obs::ProcessorCandidate{
-            static_cast<std::uint32_t>(processor.index()), ready_moment,
-            finish});
+        candidates->push_back(candidate);
       }
-      if (finish < best_finish) {
-        best_finish = finish;
+      if (candidate.estimate < best_finish) {
+        best_finish = candidate.estimate;
         best_processor = processor;
       }
     }
@@ -125,40 +139,49 @@ class MlsEstimateSelection final : public ProcessorSelectionPolicy {
   MlsEstimateSelection(double mean_link_speed, bool insertion_aware)
       : mls_(mean_link_speed), insertion_aware_(insertion_aware) {}
 
-  Choice select(const EngineState& state, dag::TaskId /*task*/,
-                double weight, double /*ready_moment*/,
-                const std::vector<dag::EdgeId>& in,
+  bool supports_candidate_scan() const override { return true; }
+
+  obs::ProcessorCandidate score_candidate(
+      const EngineState& state, dag::TaskId /*task*/, double weight,
+      double /*ready_moment*/, const std::vector<dag::EdgeId>& in,
+      net::NodeId processor) const override {
+    double ready_estimate = 0.0;
+    for (dag::EdgeId e : in) {
+      const dag::Edge& edge = state.graph.edge(e);
+      const TaskPlacement& src = state.out.task(edge.src);
+      double via = src.finish;
+      if (src.processor != processor && mls_ > 0.0) {
+        via += edge.cost / mls_;
+      }
+      ready_estimate = std::max(ready_estimate, via);
+    }
+    const double duration_on_p =
+        weight / state.topology.processor_speed(processor);
+    const double availability =
+        insertion_aware_
+            ? state.machines.start_for(processor, ready_estimate,
+                                       duration_on_p,
+                                       state.spec.task_insertion)
+            : std::max(ready_estimate,
+                       state.machines.finish_time(processor));
+    return obs::ProcessorCandidate{
+        static_cast<std::uint32_t>(processor.index()), ready_estimate,
+        availability + duration_on_p};
+  }
+
+  Choice select(const EngineState& state, dag::TaskId task, double weight,
+                double ready_moment, const std::vector<dag::EdgeId>& in,
                 std::vector<obs::ProcessorCandidate>* candidates) override {
     net::NodeId chosen;
     double chosen_estimate = std::numeric_limits<double>::infinity();
     for (net::NodeId processor : state.topology.processors()) {
-      double ready_estimate = 0.0;
-      for (dag::EdgeId e : in) {
-        const dag::Edge& edge = state.graph.edge(e);
-        const TaskPlacement& src = state.out.task(edge.src);
-        double via = src.finish;
-        if (src.processor != processor && mls_ > 0.0) {
-          via += edge.cost / mls_;
-        }
-        ready_estimate = std::max(ready_estimate, via);
-      }
-      const double duration_on_p =
-          weight / state.topology.processor_speed(processor);
-      const double availability =
-          insertion_aware_
-              ? state.machines.start_for(processor, ready_estimate,
-                                         duration_on_p,
-                                         state.spec.task_insertion)
-              : std::max(ready_estimate,
-                         state.machines.finish_time(processor));
-      const double estimate = availability + duration_on_p;
+      const obs::ProcessorCandidate candidate =
+          score_candidate(state, task, weight, ready_moment, in, processor);
       if (candidates != nullptr) {
-        candidates->push_back(obs::ProcessorCandidate{
-            static_cast<std::uint32_t>(processor.index()), ready_estimate,
-            estimate});
+        candidates->push_back(candidate);
       }
-      if (estimate < chosen_estimate) {
-        chosen_estimate = estimate;
+      if (candidate.estimate < chosen_estimate) {
+        chosen_estimate = candidate.estimate;
         chosen = processor;
       }
     }

@@ -97,6 +97,36 @@ class ProcessorSelectionPolicy {
       const EngineState& state, dag::TaskId task, double weight,
       double ready_moment, const std::vector<dag::EdgeId>& in,
       std::vector<obs::ProcessorCandidate>* candidates) = 0;
+
+  /// True when this policy scores each processor independently without
+  /// mutating any engine state — `score_candidate` is then the single
+  /// source of the selection arithmetic and the engine owns the scan
+  /// over processors (serial or fanned across a worker team; identical
+  /// either way, see docs/parallelism.md). Policies that must mutate
+  /// state between candidates (tentative EFT commits trial edges into
+  /// the network) return false and keep their serial `select`.
+  [[nodiscard]] virtual bool supports_candidate_scan() const {
+    return false;
+  }
+
+  /// Scores one processor for the scan: returns the candidate record
+  /// (processor index, data-ready estimate, finish/estimate score) the
+  /// serial `select` would have produced for this processor. Must be
+  /// const and touch only read-only state — the engine calls it from
+  /// worker threads concurrently. Only called when
+  /// `supports_candidate_scan()` is true.
+  [[nodiscard]] virtual obs::ProcessorCandidate score_candidate(
+      const EngineState& state, dag::TaskId task, double weight,
+      double ready_moment, const std::vector<dag::EdgeId>& in,
+      net::NodeId processor) const {
+    (void)state;
+    (void)task;
+    (void)weight;
+    (void)ready_moment;
+    (void)in;
+    (void)processor;
+    return obs::ProcessorCandidate{};
+  }
 };
 
 class EdgeOrderPolicy {

@@ -6,6 +6,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/run_context.hpp"
 #include "sched/engine.hpp"
+#include "sched/intra_run.hpp"
 #include "sched/registry.hpp"
 #include "sched/validator.hpp"
 #include "util/error.hpp"
@@ -38,6 +39,15 @@ SchedulerService::SchedulerService(ServiceConfig config)
       &metrics_.counter("svc_platform_cache_hits_total"),
       &metrics_.counter("svc_platform_cache_misses_total"),
       &metrics_.counter("svc_platform_cache_evictions_total"));
+  // Oversubscription guard: whatever was asked for, each job's intra-run
+  // fan-out times the pool's own width stays within the machine. The
+  // effective value is computed once here and exported so `text_dump`
+  // (and any metrics scrape) shows what jobs actually run with.
+  effective_intra_threads_ =
+      sched::clamped_intra_threads(config_.intra_threads,
+                                   pool_.num_threads());
+  metrics_.counter("svc_intra_threads_effective")
+      .increment(static_cast<std::uint64_t>(effective_intra_threads_));
 }
 
 SchedulerService::~SchedulerService() { shutdown(); }
@@ -135,6 +145,7 @@ std::future<SchedulerService::SchedulePtr> SchedulerService::submit_scheduler(
                        topology = std::move(topology),
                        scheduler = std::move(scheduler)]() -> SchedulePtr {
     const obs::ScopedRunId run_scope(run_id);
+    const sched::ScopedIntraThreads intra_scope(effective_intra_threads_);
     const auto start = std::chrono::steady_clock::now();
     try {
       // Resolve the shared per-topology platform on the worker: the
@@ -202,6 +213,7 @@ std::future<SchedulerService::ExecutionPtr> SchedulerService::execute(
                        schedule = std::move(schedule),
                        shared_options]() -> ExecutionPtr {
     const obs::ScopedRunId run_scope(run_id);
+    const sched::ScopedIntraThreads intra_scope(effective_intra_threads_);
     const auto start = std::chrono::steady_clock::now();
     try {
       auto report = std::make_shared<const exec::ExecutionReport>(

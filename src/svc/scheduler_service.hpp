@@ -85,6 +85,15 @@ struct ServiceConfig {
   bool share_platform = true;
   /// Run every computed schedule through sched::validate_or_throw.
   bool validate = false;
+  /// Intra-run worker threads each pool job may fan its candidate scan
+  /// across (sched/intra_run.hpp); 0 means hardware concurrency. The
+  /// service clamps the product `intra_threads × pool threads` to
+  /// hardware concurrency so concurrent jobs cannot oversubscribe the
+  /// machine — `SchedulerService::effective_intra_threads()` reports the
+  /// clamped value, which is also exported as the
+  /// `svc_intra_threads_effective` metric. The default of 1 keeps jobs
+  /// serial (one core per job, the pool provides the parallelism).
+  std::size_t intra_threads = 1;
 };
 
 /// Content-addressed LRU cache of execution reports; execution is as pure
@@ -163,6 +172,12 @@ class SchedulerService {
   [[nodiscard]] std::size_t num_threads() const noexcept {
     return pool_.num_threads();
   }
+  /// Intra-run worker count every job actually runs with: the configured
+  /// `ServiceConfig::intra_threads` clamped so that `intra × pool`
+  /// never exceeds hardware concurrency (always >= 1).
+  [[nodiscard]] std::size_t effective_intra_threads() const noexcept {
+    return effective_intra_threads_;
+  }
 
   /// Stops accepting requests and drains workers (idempotent).
   void shutdown() { pool_.shutdown(); }
@@ -199,6 +214,7 @@ class SchedulerService {
       const std::shared_ptr<const net::Topology>& topology);
 
   ServiceConfig config_;
+  std::size_t effective_intra_threads_ = 1;  ///< see effective_intra_threads
   MetricsRegistry metrics_;
   ScheduleCache cache_;
   ExecutionCache exec_cache_;
